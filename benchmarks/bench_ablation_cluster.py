@@ -1,0 +1,49 @@
+"""Ablation: cluster-granular dependence tracking (Chapter 8).
+
+Sweeps the Dep-register cluster size on a communication-local workload:
+coarser tracking shrinks the hardware (bits name clusters, not
+processors) but inflates interaction sets toward global checkpointing —
+quantifying the trade-off the paper's discussion chapter sketches.
+"""
+
+from conftest import publish
+
+from repro.harness.experiments import ExperimentResult
+from repro.params import MachineConfig, Scheme
+from repro.sim.machine import Machine
+from repro.workloads import get_workload
+
+CLUSTER_SIZES = (1, 2, 4, 8)
+
+
+def run_sweep(n_cores: int, intervals: float, scale: int):
+    rows = []
+    for size in CLUSTER_SIZES:
+        config = MachineConfig.scaled(n_cores=n_cores,
+                                      scheme=Scheme.REBOUND, scale=scale,
+                                      dep_cluster_size=size)
+        workload = get_workload("blackscholes", n_cores, config,
+                                intervals=intervals)
+        stats = Machine(config, workload).run()
+        rows.append([size,
+                     max(1, -(-n_cores // size)),
+                     f"{100 * stats.mean_ichk_fraction():.1f}%",
+                     len(stats.checkpoints)])
+    return ExperimentResult(
+        "Ablation: Dep-register cluster size (blackscholes)",
+        ["cluster size", "register bits", "mean ICHK", "checkpoints"],
+        rows,
+        notes="size 1 = the paper's per-processor tracking; coarser "
+              "clusters trade register area for larger interaction sets")
+
+
+def test_ablation_cluster_size(benchmark, runner, params):
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(min(16, params.cores_splash), params.intervals,
+              params.scale),
+        rounds=1, iterations=1)
+    publish(result)
+    fractions = [float(r[2].rstrip("%")) for r in result.rows]
+    # Interaction sets grow monotonically-ish with cluster coarseness.
+    assert fractions[-1] >= fractions[0]

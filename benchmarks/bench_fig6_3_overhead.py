@@ -1,0 +1,37 @@
+"""Figure 6.3: error-free checkpointing overhead for all four schemes."""
+
+from conftest import publish
+
+from repro.harness.experiments import fig6_3_overhead
+
+
+def _averages(result):
+    return {h: float(v.rstrip("%"))
+            for h, v in zip(result.headers[1:], result.rows[-1][1:])}
+
+
+def test_fig6_3a_splash(benchmark, runner, params):
+    result = benchmark.pedantic(
+        fig6_3_overhead, args=(runner,),
+        kwargs={"apps": params.splash_apps,
+                "n_cores": params.cores_splash, "suite": "SPLASH-2"},
+        rounds=1, iterations=1)
+    publish(result)
+    avg = _averages(result)
+    # The paper's ordering: Global >> Rebound_NoDWB > Rebound, and
+    # Global_DWB alone is not as good as full Rebound.
+    assert avg["global"] > avg["rebound_nodwb"] > avg["rebound"]
+    assert avg["global"] > 2.0 * avg["rebound"]
+    assert avg["global_dwb"] >= avg["rebound"]
+
+
+def test_fig6_3b_parsec_apache(benchmark, runner, params):
+    result = benchmark.pedantic(
+        fig6_3_overhead, args=(runner,),
+        kwargs={"apps": params.parsec_apps,
+                "n_cores": params.cores_parsec,
+                "suite": "PARSEC/Apache"},
+        rounds=1, iterations=1)
+    publish(result)
+    avg = _averages(result)
+    assert avg["global"] > avg["rebound"]

@@ -1,0 +1,28 @@
+"""Figure 6.6: overhead / energy / recovery latency vs. processor count."""
+
+from conftest import publish
+
+from repro.harness.experiments import fig6_6_scalability
+
+
+def test_fig6_6_scalability(benchmark, runner, params):
+    result = benchmark.pedantic(
+        fig6_6_scalability, args=(runner,),
+        kwargs={"apps": params.splash_apps, "sizes": params.sizes},
+        rounds=1, iterations=1)
+    publish(result)
+    rows = {(int(r[0]), r[1]): r for r in result.rows}
+    largest = max(params.sizes)
+    smallest = min(params.sizes)
+    glob_large = float(rows[(largest, "global")][2].rstrip("%"))
+    reb_large = float(rows[(largest, "rebound")][2].rstrip("%"))
+    # Local checkpointing scales: at the largest machine Rebound's
+    # overhead stays well below Global's (paper: 2% vs 15%).
+    assert reb_large < glob_large
+    # Global's overhead grows with the processor count.
+    glob_small = float(rows[(smallest, "global")][2].rstrip("%"))
+    assert glob_large >= glob_small * 0.9
+    # Recovery: Rebound restores less than Global at scale.
+    glob_rec = float(rows[(largest, "global")][4].replace(",", ""))
+    reb_rec = float(rows[(largest, "rebound")][4].replace(",", ""))
+    assert reb_rec <= glob_rec

@@ -1,0 +1,83 @@
+"""Shared state for the benchmark harness.
+
+One :class:`~repro.harness.runner.Runner` is shared across every
+benchmark in the session so figures that need the same simulations (e.g.
+the Figure 6.3 runs reused by Figures 6.5/6.6) pay for them once.
+
+Environment knobs::
+
+    REPRO_BENCH_CORES_SPLASH   processor count for SPLASH-2 (default 64)
+    REPRO_BENCH_CORES_PARSEC   processor count for PARSEC/Apache (24)
+    REPRO_BENCH_SCALE          config down-scale factor (default 40)
+    REPRO_BENCH_INTERVALS      run length in checkpoint intervals (2.0)
+    REPRO_BENCH_FAST           set to 1 for a quick subset of apps
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import Runner
+from repro.workloads import (
+    ALL_APPS,
+    BARRIER_INTENSIVE,
+    LOW_ICHK,
+    PARSEC_APACHE,
+    SPLASH2,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+class BenchParams:
+    """Benchmark-wide configuration resolved from the environment."""
+
+    def __init__(self):
+        self.cores_splash = _env_int("REPRO_BENCH_CORES_SPLASH", 64)
+        self.cores_parsec = _env_int("REPRO_BENCH_CORES_PARSEC", 24)
+        self.scale = _env_int("REPRO_BENCH_SCALE", 40)
+        self.intervals = float(os.environ.get("REPRO_BENCH_INTERVALS", 2.0))
+        self.fast = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+        if self.fast:
+            self.splash_apps = SPLASH2[:4]
+            self.parsec_apps = PARSEC_APACHE[:3]
+            self.all_apps = self.splash_apps + self.parsec_apps
+            self.barrier_apps = BARRIER_INTENSIVE[:2]
+            self.low_ichk_apps = LOW_ICHK[:2]
+            self.sizes = (8, 16)
+        else:
+            self.splash_apps = list(SPLASH2)
+            self.parsec_apps = list(PARSEC_APACHE)
+            self.all_apps = list(ALL_APPS)
+            self.barrier_apps = list(BARRIER_INTENSIVE)
+            self.low_ichk_apps = list(LOW_ICHK)
+            self.sizes = (16, 32, 64)
+
+
+@pytest.fixture(scope="session")
+def params() -> BenchParams:
+    return BenchParams()
+
+
+@pytest.fixture(scope="session")
+def runner(params: BenchParams) -> Runner:
+    return Runner(scale=params.scale, intervals=params.intervals)
+
+
+def publish(result) -> None:
+    """Print a figure/table and persist it under benchmarks/results/."""
+    text = result.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = "".join(c if c.isalnum() else "_"
+                   for c in result.experiment.lower())
+    slug = "_".join(filter(None, slug.split("_")))[:80]
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")

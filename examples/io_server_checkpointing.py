@@ -1,0 +1,52 @@
+"""Output I/O on a server workload: the Figure 6.7 effect, hands on.
+
+Output I/O must be preceded by a checkpoint (otherwise a later rollback
+could "unsend" committed output).  Under Global checkpointing, one
+I/O-intensive thread therefore drags *all* processors into a checkpoint
+at every output; under Rebound only its interaction set checkpoints.
+
+This example runs the Apache-like workload with thread 0 emitting output
+every half checkpoint interval and compares the machine-wide effective
+checkpoint interval under both schemes.
+
+Usage::
+
+    python examples/io_server_checkpointing.py [n_cores]
+"""
+
+import sys
+
+from repro import MachineConfig, Scheme, get_workload, run_workload
+from repro.workloads import inject_output_io
+
+
+def effective_interval(scheme: Scheme, n_cores: int,
+                       with_io: bool) -> float:
+    config = MachineConfig.scaled(n_cores=n_cores, scheme=scheme)
+    workload = get_workload("apache", n_cores, config, intervals=3)
+    if with_io:
+        workload = inject_output_io(
+            workload, pid=0,
+            every_instructions=config.checkpoint_interval // 2)
+    stats = run_workload(config, workload)
+    return stats.mean_effective_ckpt_interval()
+
+
+def main() -> None:
+    n_cores = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    print(f"Apache-like server on {n_cores} cores; thread 0 performs "
+          "output I/O every half checkpoint interval.\n")
+    for scheme in (Scheme.GLOBAL, Scheme.REBOUND):
+        quiet = effective_interval(scheme, n_cores, with_io=False)
+        noisy = effective_interval(scheme, n_cores, with_io=True)
+        ratio = noisy / quiet if quiet else 0.0
+        print(f"{scheme.value:10s}: effective interval without I/O = "
+              f"{quiet:,.0f} cycles, with I/O = {noisy:,.0f} cycles "
+              f"({100 * ratio:.0f}% retained)")
+    print("\nPaper reference (Figure 6.7): Global-I/O collapses to ~50% "
+          "of the configured interval; Rebound-I/O keeps >80% because "
+          "the I/O thread checkpoints only with its own interaction set.")
+
+
+if __name__ == "__main__":
+    main()

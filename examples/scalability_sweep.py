@@ -1,0 +1,43 @@
+"""Scalability sweep: why global checkpointing does not scale.
+
+Reproduces the shape of Figure 6.6(a) at example scale: checkpointing
+overhead versus processor count for Global, Rebound_NoDWB and Rebound on
+a communication-local workload.  Global's overhead grows with the
+machine; Rebound's stays nearly flat because its checkpoints involve
+only the processors that communicated.
+
+Usage::
+
+    python examples/scalability_sweep.py [app]
+"""
+
+import sys
+
+from repro import Scheme, run_app
+from repro.harness.report import format_table
+
+SIZES = (8, 16, 32)
+SCHEMES = (Scheme.GLOBAL, Scheme.REBOUND_NODWB, Scheme.REBOUND)
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "blackscholes"
+    rows = []
+    for n_cores in SIZES:
+        baseline = run_app(app, n_cores=n_cores, scheme=Scheme.NONE,
+                           intervals=3)
+        row = [n_cores]
+        for scheme in SCHEMES:
+            stats = run_app(app, n_cores=n_cores, scheme=scheme,
+                            intervals=3)
+            row.append(f"{100 * stats.overhead_vs(baseline):.2f}%")
+        rows.append(row)
+    print(format_table(
+        ["cores"] + [s.value for s in SCHEMES], rows,
+        title=f"Checkpoint overhead vs. machine size ({app})"))
+    print("\nPaper reference (Figure 6.6a): Global climbs steeply toward "
+          "~15% at 64 processors while Rebound stays near 2%.")
+
+
+if __name__ == "__main__":
+    main()

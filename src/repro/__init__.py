@@ -1,0 +1,64 @@
+"""Rebound: scalable checkpointing for coherent shared memory.
+
+A from-scratch reproduction of the ISCA 2011 Rebound system: coordinated
+local checkpointing on directory-based cache coherence, together with
+every substrate it needs (MESI directory protocol, private-cache
+manycore simulator, ReVive-style logging, interconnect and DRAM-channel
+models, synthetic workloads and a power model).
+
+Quickstart::
+
+    from repro import MachineConfig, Scheme, run_app
+
+    stats = run_app("ocean", n_cores=16, scheme=Scheme.REBOUND)
+    print(stats.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.params import CacheConfig, MachineConfig, Scheme
+from repro.sim import Machine, SimStats
+from repro.workloads import get_workload, list_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "CacheConfig",
+    "Scheme",
+    "Machine",
+    "SimStats",
+    "run_app",
+    "run_workload",
+    "get_workload",
+    "list_workloads",
+    "__version__",
+]
+
+
+def run_workload(config: MachineConfig, workload,
+                 faults: Optional[list[tuple[float, int]]] = None,
+                 max_cycles: Optional[float] = None) -> SimStats:
+    """Simulate ``workload`` on a machine built from ``config``."""
+    machine = Machine(config, workload, faults=faults)
+    return machine.run(max_cycles=max_cycles)
+
+
+def run_app(name: str, n_cores: int = 16,
+            scheme: Scheme = Scheme.REBOUND, scale: int = 40,
+            intervals: float = 5.0, seed: int = 1,
+            faults: Optional[list[tuple[float, int]]] = None,
+            **overrides) -> SimStats:
+    """Simulate one of the paper's applications end to end.
+
+    ``scale`` shrinks the paper configuration for tractable simulation
+    (see :meth:`MachineConfig.scaled`); other keyword overrides are
+    forwarded to the configuration.
+    """
+    config = MachineConfig.scaled(n_cores=n_cores, scheme=scheme,
+                                  scale=scale, **overrides)
+    workload = get_workload(name, n_cores, config, intervals=intervals,
+                            seed=seed)
+    return run_workload(config, workload, faults=faults)

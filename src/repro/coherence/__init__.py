@@ -1,0 +1,14 @@
+"""Directory-based MESI coherence substrate with LW-ID tracking."""
+
+from repro.coherence.directory import DirEntry, Directory, EXCL, SHARED, UNCACHED
+from repro.coherence.protocol import CoherenceEngine, DependenceTracker
+
+__all__ = [
+    "Directory",
+    "DirEntry",
+    "CoherenceEngine",
+    "DependenceTracker",
+    "UNCACHED",
+    "SHARED",
+    "EXCL",
+]

@@ -1,0 +1,456 @@
+"""Directory-based MESI coherence engine with Rebound dependence hooks.
+
+This is the substrate Rebound piggybacks on (Section 3.3.1): every
+transaction that transfers data between processors updates the
+directory's LW-ID field and, through the :class:`DependenceTracker`
+interface implemented by the checkpointing scheme, the MyProducers /
+MyConsumers / WSIG registers.
+
+Flows implemented (Figure 3.2a):
+
+* ``WR`` — a store gains exclusive ownership; the directory records the
+  writer's PID in LW-ID; the previous last writer (if any, and if its
+  WSIG confirms) records the WAW dependence in its MyConsumers.
+* ``RD`` — a load of a line with a live LW-ID records a RAW dependence:
+  the reader sets MyProducers, the writer sets MyConsumers.
+* ``RDX`` — a load that finds the line uncached is granted Exclusive and
+  therefore also stamps LW-ID (the core may later write silently).
+* ``NO_WR`` — the supposed last writer's WSIG misses: the dependence is
+  declined and the directory lazily clears the stale LW-ID
+  (Section 3.3.2).  The reader's MyProducers was already set, so it stays
+  a superset — exactly the imprecision the checkpoint protocol's
+  Decline messages absorb.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Optional
+
+from repro.coherence.directory import Directory, EXCL, SHARED, UNCACHED
+from repro.interconnect import Interconnect, MessageClass
+from repro.mem import (
+    Cache,
+    EXCLUSIVE,
+    L1Cache,
+    MODIFIED,
+    MainMemory,
+    MemoryChannels,
+)
+from repro.mem import SHARED as L_SHARED
+from repro.params import MachineConfig
+
+
+class DependenceTracker:
+    """Scheme-side interface for LW-ID / Dep-register maintenance.
+
+    The default implementation tracks nothing (used by Global and the
+    no-checkpointing baseline, which have no such hardware).
+    """
+
+    enabled = False
+
+    def on_write(self, pid: int, addr: int) -> None:
+        """A store or exclusive grant: add ``addr`` to pid's WSIG."""
+
+    def record_producer(self, consumer: int, producer: int) -> None:
+        """Consumer optimistically sets MyProducers[producer]."""
+
+    def query_writer(self, pid: int, addr: int) -> tuple[bool, bool]:
+        """'Are you the last writer of addr?' -> (claims, genuine)."""
+        return False, False
+
+    def record_consumer(self, producer: int, consumer: int, addr: int,
+                        genuine: bool) -> None:
+        """Producer sets MyConsumers[consumer] (``genuine``=False on a
+        Bloom false positive; tracked for the Table 6.1 statistic)."""
+
+    def on_line_left_cache(self, pid: int, addr: int, now: float) -> None:
+        """A Delayed/dirty line left pid's L2 via coherence activity."""
+
+    def interval_of(self, pid: int) -> int:
+        """The checkpoint interval ``pid`` is currently executing."""
+        return 0
+
+    def delayed_interval_of(self, pid: int) -> int:
+        """Interval owning pid's Delayed lines (the one being drained)."""
+        return self.interval_of(pid)
+
+
+class CoherenceEngine:
+    """Executes loads, stores, writebacks and invalidations.
+
+    All latencies follow Figure 4.3(a); message counts are kept per class
+    so the harness can report the extra traffic Rebound adds (Table 6.1).
+    """
+
+    def __init__(self, config: MachineConfig, channels: MemoryChannels,
+                 memory: MainMemory, network: Interconnect,
+                 tracker: DependenceTracker):
+        self.config = config
+        self.channels = channels
+        self.memory = memory
+        self.network = network
+        self.tracker = tracker
+        self.directory = Directory(config.n_cores)
+        self.l1s = [L1Cache(config.l1) for _ in range(config.n_cores)]
+        self.l2s = [Cache(config.l2) for _ in range(config.n_cores)]
+        self.energy = Counter()
+        # Demand-wait cycles caused by checkpoint traffic, per core
+        # (feeds the IPCDelay category of Figure 6.5).
+        self.ckpt_wait = [0.0] * config.n_cores
+        self.invalidations_sent = 0
+        self.forced_delayed_writebacks = 0
+        # Golden architectural image: last value stored to each line, in
+        # the simulator's serialization order.  Used by the coherence
+        # property tests (config.check_coherence).
+        self.golden: dict[int, int] = {}
+
+    def _check_load(self, addr: int, value: int) -> None:
+        if self.config.check_coherence:
+            expected = self.golden.get(addr, 0)
+            assert value == expected, (
+                f"coherence violation at {addr:#x}: "
+                f"loaded {value:#x}, expected {expected:#x}")
+
+    # ------------------------------------------------------------------
+    # dependence recording
+    # ------------------------------------------------------------------
+    def _handle_dependence(self, entry, consumer: int, now: float,
+                           piggybacked: bool) -> None:
+        """Record producer->consumer through LW-ID (Figure 3.2a)."""
+        producer = entry.lw_id
+        if producer is None or producer == consumer:
+            return
+        if not self.tracker.enabled:
+            return
+        # The consumer's MyProducers is updated as the line arrives, before
+        # any NO_WR could revert it (superset semantics, Section 3.3.2).
+        self.tracker.record_producer(consumer, producer)
+        self.energy["depreg"] += 1
+        claims, genuine = self.tracker.query_writer(producer, entry.addr)
+        self.energy["wsig"] += 1
+        if not piggybacked:
+            # Dedicated "are you the last writer?" query + reply.
+            self.network.send(MessageClass.DEP, 2)
+        if claims:
+            self.tracker.record_consumer(producer, consumer, entry.addr,
+                                         genuine)
+            self.energy["depreg"] += 1
+        else:
+            # NO_WR: tell the directory to clear the stale LW-ID.
+            self.network.send(MessageClass.DEP, 1)
+            entry.lw_id = None
+
+    def _stamp_writer(self, entry, pid: int) -> None:
+        entry.lw_id = pid
+        if self.tracker.enabled:
+            self.tracker.on_write(pid, entry.addr)
+            self.energy["wsig"] += 1
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _evict(self, pid: int, victim, now: float) -> None:
+        """Handle an L2 victim: write back if dirty, update directory."""
+        self.l1s[pid].invalidate(victim.addr)  # inclusion
+        interval = self.tracker.interval_of(pid)
+        if victim.delayed:
+            interval = self.tracker.delayed_interval_of(pid)
+            self.tracker.on_line_left_cache(pid, victim.addr, now)
+            self.forced_delayed_writebacks += 1
+        if victim.dirty:
+            # Dirty displacement between checkpoints: the memory controller
+            # logs the old value (Section 3.3.3).
+            self.channels.writeback(now, victim.addr, logged=True,
+                                    checkpoint=False)
+            self.memory.writeback(now, pid, victim.addr, victim.value,
+                                  interval)
+            self.energy["dram"] += 2
+            self.energy["log"] += 1
+            self.network.send(MessageClass.BASE, 1)
+        else:
+            self.network.send(MessageClass.BASE, 1)  # PUTS notification
+        self.directory.evict_copy(victim.addr, pid)
+        self.energy["dir"] += 1
+
+    def _install(self, pid: int, addr: int, state: int, value: int,
+                 now: float):
+        line, victim = self.l2s[pid].insert(addr, state, value)
+        if victim is not None:
+            self._evict(pid, victim, now)
+        self.l1s[pid].fill(addr)
+        return line
+
+    def _invalidate_sharers(self, entry, keep: int, now: float) -> int:
+        """Invalidate all sharers except ``keep``; returns count."""
+        count = 0
+        for sharer in entry.sharer_list():
+            if sharer == keep:
+                continue
+            line = self.l2s[sharer].invalidate(entry.addr)
+            self.l1s[sharer].invalidate(entry.addr)
+            if line is not None and line.delayed:
+                # The checkpointed copy must reach memory before the line
+                # leaves the cache (Section 4.1).
+                self.channels.writeback(now, entry.addr, logged=True,
+                                        checkpoint=True)
+                self.memory.writeback(
+                    now, sharer, entry.addr, line.value,
+                    self.tracker.delayed_interval_of(sharer))
+                self.tracker.on_line_left_cache(sharer, entry.addr, now)
+                self.forced_delayed_writebacks += 1
+            count += 1
+        self.network.send(MessageClass.BASE, 2 * count)  # inval + ack
+        self.invalidations_sent += count
+        entry.sharers = 0
+        return count
+
+    def _fetch_from_owner(self, entry, pid: int, now: float,
+                          downgrade_to_shared: bool) -> int:
+        """Serve a miss from the exclusive owner's L2; returns the value."""
+        owner = entry.owner
+        oline = self.l2s[owner].peek(entry.addr)
+        assert oline is not None, "directory owner lost the line"
+        value = oline.value
+        self.energy["l2"] += 1
+        if oline.delayed:
+            # Forced early writeback of a Delayed line (Section 4.1).
+            self.channels.writeback(now, entry.addr, logged=True,
+                                    checkpoint=True)
+            self.memory.writeback(now, owner, entry.addr, oline.value,
+                                  self.tracker.delayed_interval_of(owner))
+            self.tracker.on_line_left_cache(owner, entry.addr, now)
+            self.forced_delayed_writebacks += 1
+            oline.delayed = False
+            oline.dirty = False
+            oline.state = EXCLUSIVE
+        if downgrade_to_shared:
+            if oline.dirty:
+                # Sharing writeback: memory picks up the dirty data (and
+                # the controller logs the old value).
+                self.channels.writeback(now, entry.addr, logged=True,
+                                        checkpoint=False)
+                self.memory.writeback(now, owner, entry.addr, oline.value,
+                                      self.tracker.interval_of(owner))
+                self.energy["dram"] += 2
+                self.energy["log"] += 1
+                oline.dirty = False
+            oline.state = L_SHARED
+            entry.mode = SHARED
+            entry.sharers = (1 << owner) | (1 << pid)
+            entry.owner = None
+        else:
+            # Dirty (or clean-exclusive) transfer; owner invalidated.
+            self.l2s[owner].invalidate(entry.addr)
+            self.l1s[owner].invalidate(entry.addr)
+            entry.owner = pid
+        self.network.send(MessageClass.BASE, 2)  # forward + data
+        return value
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    def load(self, pid: int, addr: int, now: float) -> float:
+        """Execute a load; returns its latency in cycles."""
+        self.energy["l1"] += 1
+        if self.l1s[pid].contains(addr):
+            if self.config.check_coherence:
+                resident = self.l2s[pid].peek(addr)
+                assert resident is not None, "L1/L2 inclusion violated"
+                self._check_load(addr, resident.value)
+            return self.config.l1.hit_cycles
+        self.energy["l2"] += 1
+        line = self.l2s[pid].lookup(addr)
+        if line is not None:
+            self.l1s[pid].fill(addr)
+            self._check_load(addr, line.value)
+            return self.config.l2.hit_cycles
+        # L2 miss -> home directory.
+        entry = self.directory.entry(addr)
+        self.energy["dir"] += 1
+        self.network.send(MessageClass.BASE, 2)  # request + response
+        latency = float(self.config.l2.hit_cycles)
+        if entry.mode == EXCL and entry.owner != pid:
+            self._handle_dependence(entry, pid, now, piggybacked=True)
+            value = self._fetch_from_owner(entry, pid, now,
+                                           downgrade_to_shared=True)
+            latency += self.config.remote_l2_cycles
+            self._install(pid, addr, L_SHARED, value, now)
+        elif entry.mode == SHARED:
+            self._handle_dependence(entry, pid, now, piggybacked=False)
+            extra, ckpt_wait = self.channels.demand_access(now, addr)
+            self.ckpt_wait[pid] += ckpt_wait
+            latency += self.config.memory_cycles + extra
+            value = self.memory.read_line(addr)
+            self.energy["dram"] += 1
+            entry.sharers |= 1 << pid
+            self._install(pid, addr, L_SHARED, value, now)
+        else:  # UNCACHED -> RDX: grant Exclusive, stamp LW-ID (Fig 3.2a)
+            self._handle_dependence(entry, pid, now, piggybacked=False)
+            extra, ckpt_wait = self.channels.demand_access(now, addr)
+            self.ckpt_wait[pid] += ckpt_wait
+            latency += self.config.memory_cycles + extra
+            value = self.memory.read_line(addr)
+            self.energy["dram"] += 1
+            entry.mode = EXCL
+            entry.owner = pid
+            entry.sharers = 0
+            self._stamp_writer(entry, pid)
+            self._install(pid, addr, EXCLUSIVE, value, now)
+        self._check_load(addr, value)
+        return latency
+
+    def store(self, pid: int, addr: int, value: int, now: float) -> float:
+        """Execute a store (write-through L1, write-back L2); returns latency."""
+        if self.config.check_coherence:
+            self.golden[addr] = value
+        self.energy["l1"] += 1
+        self.energy["l2"] += 1
+        line = self.l2s[pid].lookup(addr)
+        latency = float(self.config.l2.hit_cycles)
+        if line is not None and line.state == MODIFIED:
+            if line.delayed:
+                latency += self._force_delayed_writeback(pid, line, now)
+            line.value = value
+            return latency
+        if line is not None and line.state == EXCLUSIVE:
+            # Silent E -> M upgrade: no directory traffic; LW-ID was
+            # already stamped at the exclusive grant (RDX semantics).
+            if line.delayed:
+                latency += self._force_delayed_writeback(pid, line, now)
+            line.state = MODIFIED
+            line.dirty = True
+            line.value = value
+            if self.tracker.enabled:
+                self.tracker.on_write(pid, addr)
+                self.energy["wsig"] += 1
+            return latency
+        entry = self.directory.entry(addr)
+        self.energy["dir"] += 1
+        self.network.send(MessageClass.BASE, 2)
+        if line is not None and line.state == L_SHARED:
+            # Upgrade: invalidate the other sharers.
+            self._handle_dependence(entry, pid, now, piggybacked=False)
+            self._invalidate_sharers(entry, keep=pid, now=now)
+            entry.mode = EXCL
+            entry.owner = pid
+            latency += self.config.remote_l2_cycles
+            line.state = MODIFIED
+            line.dirty = True
+            line.value = value
+            self._stamp_writer(entry, pid)
+            return latency
+        # Full write miss.
+        if entry.mode == EXCL and entry.owner != pid:
+            self._handle_dependence(entry, pid, now, piggybacked=True)
+            self._fetch_from_owner(entry, pid, now, downgrade_to_shared=False)
+            latency += self.config.remote_l2_cycles
+        elif entry.mode == SHARED:
+            self._handle_dependence(entry, pid, now, piggybacked=False)
+            self._invalidate_sharers(entry, keep=pid, now=now)
+            extra, ckpt_wait = self.channels.demand_access(now, addr)
+            self.ckpt_wait[pid] += ckpt_wait
+            latency += self.config.memory_cycles + extra
+            self.energy["dram"] += 1
+        else:
+            self._handle_dependence(entry, pid, now, piggybacked=False)
+            extra, ckpt_wait = self.channels.demand_access(now, addr)
+            self.ckpt_wait[pid] += ckpt_wait
+            latency += self.config.memory_cycles + extra
+            self.energy["dram"] += 1
+        entry.mode = EXCL
+        entry.owner = pid
+        entry.sharers = 0
+        self._stamp_writer(entry, pid)
+        self._install(pid, addr, MODIFIED, value, now)
+        return latency
+
+    def _force_delayed_writeback(self, pid: int, line, now: float) -> float:
+        """Write a Delayed line back immediately before a new store hits it.
+
+        The flush takes the priority path (the store is on the critical
+        path); the stall is checkpoint-induced, so it feeds IPCDelay.
+        """
+        done = self.channels.priority_writeback(now, line.addr)
+        self.memory.writeback(now, pid, line.addr, line.value,
+                              self.tracker.delayed_interval_of(pid))
+        self.energy["dram"] += 2
+        self.energy["log"] += 1
+        line.delayed = False
+        self.tracker.on_line_left_cache(pid, line.addr, now)
+        self.forced_delayed_writebacks += 1
+        stall = max(0.0, done - now)
+        self.ckpt_wait[pid] += stall
+        return stall
+
+    # ------------------------------------------------------------------
+    # checkpoint / rollback services
+    # ------------------------------------------------------------------
+    def dirty_line_addrs(self, pid: int) -> list[int]:
+        return [ln.addr for ln in self.l2s[pid].dirty_lines()]
+
+    def checkpoint_writeback(self, pid: int, now: float) -> tuple[float, int]:
+        """Burst-writeback all dirty lines of ``pid`` (stalling variant).
+
+        Lines stay cached clean (state M -> E); returns ``(completion
+        time, n_lines)``.
+        """
+        dirty = self.l2s[pid].dirty_lines()
+        interval = self.tracker.interval_of(pid)
+        done = now
+        for line in dirty:
+            done = max(done, self.channels.writeback(now, line.addr,
+                                                     logged=True,
+                                                     checkpoint=True))
+            self.memory.writeback(now, pid, line.addr, line.value, interval)
+            self.energy["dram"] += 2
+            self.energy["log"] += 1
+            line.dirty = False
+            line.delayed = False
+            if line.state == MODIFIED:
+                line.state = EXCLUSIVE
+        return done, len(dirty)
+
+    def mark_delayed(self, pid: int) -> int:
+        """Set the Delayed bit on all dirty lines (Section 4.1 start)."""
+        count = 0
+        for line in self.l2s[pid].dirty_lines():
+            line.delayed = True
+            count += 1
+        return count
+
+    def complete_delayed(self, pid: int, now: float, interval: int) -> int:
+        """Drain every still-Delayed line of ``pid`` to memory.
+
+        Channel occupancy for the drain window is accounted separately by
+        the scheme (background traffic); here we move the data and log it
+        tagged with the checkpointed ``interval`` that produced it.
+        """
+        count = 0
+        for line in list(self.l2s[pid].lines()):
+            if not line.delayed:
+                continue
+            self.memory.writeback(now, pid, line.addr, line.value, interval)
+            self.energy["dram"] += 2
+            self.energy["log"] += 1
+            line.delayed = False
+            line.dirty = False
+            if line.state == MODIFIED:
+                line.state = EXCLUSIVE
+            count += 1
+        return count
+
+    def invalidate_core(self, pid: int) -> int:
+        """Flash-invalidate both cache levels of ``pid`` (rollback)."""
+        if self.config.check_coherence:
+            # Dirty data discarded by the invalidation reverts the golden
+            # image to whatever memory holds (the log undo that follows
+            # refines it further for the logged lines).
+            for line in self.l2s[pid].dirty_lines():
+                self.golden[line.addr] = self.memory.peek(line.addr)
+        self.directory.purge_core(pid, clear_lw=True)
+        n = self.l2s[pid].invalidate_all()
+        self.l1s[pid].invalidate_all()
+        self.energy["l2"] += n
+        return n

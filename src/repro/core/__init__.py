@@ -1,0 +1,34 @@
+"""Rebound core: dependence tracking, protocols, checkpointing schemes."""
+
+from repro.core.barrier_opt import BarrierCheckpointCoordinator
+from repro.core.checkpoint_protocol import IchkResult, build_ichk
+from repro.core.cluster import ClusterMap
+from repro.core.dep_registers import (
+    DepRegisterFile,
+    DepRegisterSet,
+    mask_to_pids,
+)
+from repro.core.factory import build_scheme
+from repro.core.global_scheme import GlobalScheme
+from repro.core.rebound_scheme import ReboundScheme
+from repro.core.rollback_protocol import IrecResult, build_irec
+from repro.core.scheme_base import BaseScheme, NoCheckpointScheme
+from repro.core.signature import WriteSignature
+
+__all__ = [
+    "WriteSignature",
+    "ClusterMap",
+    "DepRegisterFile",
+    "DepRegisterSet",
+    "mask_to_pids",
+    "build_ichk",
+    "IchkResult",
+    "build_irec",
+    "IrecResult",
+    "BaseScheme",
+    "NoCheckpointScheme",
+    "GlobalScheme",
+    "ReboundScheme",
+    "BarrierCheckpointCoordinator",
+    "build_scheme",
+]

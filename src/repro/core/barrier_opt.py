@@ -1,0 +1,142 @@
+"""The barrier checkpoint optimization (Section 4.2.1).
+
+Global barriers chain every participant into one interaction set
+(Figure 4.2b), so a checkpoint right after a barrier is effectively
+global.  The optimization takes that checkpoint *proactively at* the
+barrier and hides its writebacks behind the barrier's imbalance time:
+
+1. The first processor that completes the barrier's Update section and
+   is interested in checkpointing (it has run a reasonable fraction of
+   its interval) sends BarCK to all participants.
+2. Every participant — including ones already spinning on the flag —
+   snapshots its register state, rotates its Dep registers and starts
+   writing its dirty lines back in the background while it spins or
+   keeps executing toward the barrier.
+3. The last arriver may only write the flag after every participant has
+   both arrived and finished its writebacks, so processors leave the
+   barrier with a tiny ICHK: themselves plus the flag writer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.interconnect import MessageClass
+from repro.sim.stats import CheckpointEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.rebound_scheme import ReboundScheme
+    from repro.sim.cores import Core
+    from repro.sim.sync import BarrierState
+
+
+class BarrierCheckpointCoordinator:
+    """Implements the BarCK protocol for a :class:`ReboundScheme`."""
+
+    def __init__(self, scheme: "ReboundScheme"):
+        self.scheme = scheme
+        self.barck_episodes = 0
+
+    # ------------------------------------------------------------------
+    def on_update(self, core: "Core", barrier: "BarrierState",
+                  now: float) -> None:
+        """A participant finished the barrier's Update section."""
+        scheme = self.scheme
+        config = scheme.config
+        if not barrier.barck_pending:
+            threshold = (config.barrier_interest_fraction *
+                         config.checkpoint_interval)
+            if core.instr_since_ckpt < threshold:
+                return  # not interested; a later arriver may still be
+            barrier.barck_pending = True
+            barrier.barck_initiator = core.pid
+            barrier.barck_time = now
+            self.barck_episodes += 1
+            scheme.machine.network.send(MessageClass.PROTOCOL,
+                                        2 * barrier.n)
+            # Processors already spinning are forced to participate.
+            for pid in list(barrier.arrived):
+                if pid != core.pid:
+                    self._member_checkpoint(scheme.machine.cores[pid],
+                                            barrier, now)
+        self._member_checkpoint(core, barrier, now)
+
+    def _member_checkpoint(self, core: "Core", barrier: "BarrierState",
+                           now: float) -> None:
+        """One participant joins the barrier checkpoint (at its arrival)."""
+        scheme = self.scheme
+        machine = scheme.machine
+        if core.pid in barrier.barck_members:
+            return
+        # A still-draining previous checkpoint must complete before the
+        # core can accept a new checkpoint request (Section 4.1).
+        if core.pending_delayed > 0 and core.delayed_ckpt_id is not None:
+            scheme._complete_drain(
+                core.pid, core.delayed_ckpt_id,
+                scheme.delayed_interval_of(core.pid), now)
+        dep_file = scheme.files[core.pid]
+        interval = dep_file.active.interval_id
+        snap = core.take_snapshot(now)
+        machine.log.mark_begin(now, core.pid, snap.ckpt_id)
+        n_lines = machine.engine.mark_delayed(core.pid)
+        core.pending_delayed = n_lines
+        core.delayed_ckpt_id = snap.ckpt_id
+        if n_lines > 0:
+            machine.channels.bg_start()
+        dep_file.force_open(now)
+        core.instr_since_ckpt = 0
+        barrier.barck_members[core.pid] = (snap.ckpt_id, interval,
+                                           n_lines, now)
+
+    # ------------------------------------------------------------------
+    def release_gate(self, barrier: "BarrierState", now: float) -> float:
+        """All arrived: finish the drains, then allow the flag write.
+
+        Per-participant writeback completion is ``max(arrival, BarCK time
+        + drain)`` — the drain overlaps either the spin or the remaining
+        pre-barrier execution (Figure 4.2c).
+        """
+        scheme = self.scheme
+        machine = scheme.machine
+        if not barrier.barck_pending or not barrier.barck_members:
+            return now
+        config = scheme.config
+        t_barck = barrier.barck_time
+        release = now
+        dirty_total = 0
+        gate = not scheme.use_dwb
+        for pid, (ckpt_id, interval, n_lines,
+                  start) in list(barrier.barck_members.items()):
+            core = machine.cores[pid]
+            drain = machine.channels.bg_drain_time(n_lines,
+                                                   config.dwb_drain_period)
+            completion = max(start, t_barck + drain)
+            machine.channels.bg_account(start, n_lines,
+                                        max(1.0, completion - start))
+            core.ckpt_busy_until = max(core.ckpt_busy_until, completion)
+            dirty_total += n_lines
+            if gate:
+                # Without delayed-writeback hardware the flag write must
+                # wait for every participant's writebacks — they hide
+                # behind the spin / remaining execution (Figure 4.2c).
+                scheme._complete_drain(pid, ckpt_id, interval, completion)
+                release = max(release, completion)
+            else:
+                # With DWB support the drain keeps running past the
+                # barrier, exactly like an interval checkpoint's.
+                machine.schedule(
+                    completion,
+                    lambda t, p=pid, c=ckpt_id, i=interval:
+                        scheme._complete_drain(p, c, i, t))
+        release += config.sync_cycles
+        initiator = barrier.barck_initiator
+        machine.stats.checkpoints.append(CheckpointEvent(
+            time=t_barck,
+            initiator=initiator if initiator is not None else -1,
+            kind="barrier", size=len(barrier.barck_members),
+            genuine_size=len(barrier.barck_members),
+            dirty_lines=dirty_total, duration=release - t_barck))
+        # The visible critical-path extension lands on the last arriver.
+        machine.cores[barrier.arrived[-1]].stats.wb_imbalance += \
+            max(0.0, release - now)
+        return release

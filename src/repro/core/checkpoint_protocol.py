@@ -1,0 +1,124 @@
+"""The distributed checkpointing protocol of Section 3.3.4.
+
+An initiator sends CK? to the processors in its MyProducers; each
+recipient validates the request against its own MyConsumers (Decline on
+stale information or after a recent checkpoint), answers Busy while
+participating in another checkpoint or still draining delayed
+writebacks (the Nack of Section 4.1), and otherwise Accepts and forwards
+CK? to *its* producers.  The transitive closure — the initiator plus
+everything reached through Accepts — is the Interaction Set for
+Checkpointing (ICHK).
+
+The shared-memory realization (cross-processor interrupts plus
+memory-flag handshakes) is costed as interconnect round trips per
+closure wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.dep_registers import mask_to_pids
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.rebound_scheme import ReboundScheme
+
+
+@dataclass
+class IchkResult:
+    """Outcome of building an Interaction Set for Checkpointing."""
+
+    members: set[int] = field(default_factory=set)
+    genuine_members: set[int] = field(default_factory=set)
+    depth: int = 0                      # closure waves (protocol latency)
+    declines: int = 0
+    busy_member: Optional[int] = None   # set => the attempt must back off
+
+    @property
+    def ok(self) -> bool:
+        return self.busy_member is None
+
+
+def build_ichk(scheme: "ReboundScheme", initiator: int,
+               now: float) -> IchkResult:
+    """Collect the ICHK for ``initiator`` (Figure 3.3).
+
+    Stops propagating when a processor's MyProducers is empty, a
+    processor is already a member (cyclic dependences), or a processor
+    Declines because the requester is not in its MyConsumers — the stale
+    MyProducers / recent-checkpoint cases of Section 3.3.2.  A Busy from
+    any member aborts the attempt (the initiator releases everyone and
+    retries after a random back-off).
+    """
+    machine = scheme.machine
+    files = scheme.files
+    clusters = scheme.clusters
+    result = IchkResult(members={initiator}, genuine_members={initiator})
+    frontier = [initiator]
+    if not clusters.trivial:
+        # Cluster mode (Chapter 8): checkpointing is global inside a
+        # cluster, so the initiator's whole cluster participates.
+        for peer in clusters.members_of(clusters.cluster_of(initiator)):
+            if peer not in result.members:
+                result.members.add(peer)
+                frontier.append(peer)
+    while frontier:
+        next_frontier = []
+        for consumer in frontier:
+            for producer in mask_to_pids(files[consumer].active.producers):
+                if producer in result.members:
+                    continue
+                core = machine.cores[producer]
+                if core.ckpt_busy_until > now:
+                    result.busy_member = producer
+                    return result
+                # CK? validation on the producer side: has this consumer
+                # really consumed data from my latest interval?  (In
+                # cluster mode any cluster peer's record suffices.)
+                claimed = (files[producer].active.consumers >> consumer) & 1
+                if not claimed and not clusters.trivial:
+                    cluster_files = (files[p] for p in clusters.members_of(
+                        clusters.cluster_of(producer)))
+                    claimed = any((f.active.consumers >> consumer) & 1
+                                  for f in cluster_files)
+                if not claimed:
+                    result.declines += 1
+                    continue
+                joiners = [producer]
+                if not clusters.trivial:
+                    joiners = clusters.members_of(
+                        clusters.cluster_of(producer))
+                for joiner in joiners:
+                    if joiner not in result.members:
+                        result.members.add(joiner)
+                        next_frontier.append(joiner)
+        frontier = next_frontier
+        result.depth += 1
+    result.genuine_members = _genuine_closure(scheme, initiator)
+    return result
+
+
+def _genuine_closure(scheme: "ReboundScheme", initiator: int) -> set[int]:
+    """The ICHK an exact (non-Bloom) write signature would have built.
+
+    Used only for the Table 6.1 false-positive statistic; the protocol
+    never sees these masks.
+    """
+    files = scheme.files
+    members = {initiator}
+    frontier = [initiator]
+    while frontier:
+        next_frontier = []
+        for consumer in frontier:
+            mask = files[consumer].active.producers_genuine
+            for producer in mask_to_pids(mask):
+                if producer in members:
+                    continue
+                if not (files[producer].active.consumers_genuine
+                        >> consumer) & 1:
+                    continue
+                members.add(producer)
+                next_frontier.append(producer)
+        frontier = next_frontier
+    return members

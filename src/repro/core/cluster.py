@@ -1,0 +1,59 @@
+"""Cluster-granular dependence tracking (Chapter 8, future work).
+
+As machines grow, per-processor MyProducers/MyConsumers bit vectors and
+full-map LW-ID fields get expensive.  The paper's discussion chapter
+proposes assigning the Dep registers to *clusters* of processors: each
+bit names a cluster, and inside a cluster checkpointing is global.
+
+This module provides the pid<->cluster mask arithmetic; the
+:class:`~repro.core.rebound_scheme.ReboundScheme` applies it whenever
+``config.dep_cluster_size > 1``.  The coarsening is strictly
+conservative: every true dependence is preserved (the whole cluster is
+implicated), so correctness arguments are unchanged — the cost is larger
+interaction sets, which the ablation benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+
+class ClusterMap:
+    """Maps processors to fixed, consecutive clusters of size k."""
+
+    def __init__(self, n_cores: int, cluster_size: int):
+        if cluster_size < 1:
+            raise ValueError("cluster size must be >= 1")
+        self.n_cores = n_cores
+        self.cluster_size = cluster_size
+        self.n_clusters = -(-n_cores // cluster_size)  # ceil
+
+    def cluster_of(self, pid: int) -> int:
+        return pid // self.cluster_size
+
+    def members_of(self, cluster: int) -> list[int]:
+        start = cluster * self.cluster_size
+        return list(range(start, min(start + self.cluster_size,
+                                     self.n_cores)))
+
+    def expand_pid(self, pid: int) -> int:
+        """Processor -> bitmask of its whole cluster."""
+        mask = 0
+        for member in self.members_of(self.cluster_of(pid)):
+            mask |= 1 << member
+        return mask
+
+    def expand_mask(self, mask: int) -> int:
+        """Close a processor bitmask over cluster membership."""
+        out = 0
+        cluster = 0
+        while cluster < self.n_clusters:
+            lo = cluster * self.cluster_size
+            width = min(self.cluster_size, self.n_cores - lo)
+            cluster_mask = ((1 << width) - 1) << lo
+            if mask & cluster_mask:
+                out |= cluster_mask
+            cluster += 1
+        return out
+
+    @property
+    def trivial(self) -> bool:
+        return self.cluster_size == 1

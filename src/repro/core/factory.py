@@ -1,0 +1,25 @@
+"""Scheme construction by configuration."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.global_scheme import GlobalScheme
+from repro.core.rebound_scheme import ReboundScheme
+from repro.core.scheme_base import BaseScheme, NoCheckpointScheme
+from repro.params import Scheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+
+def build_scheme(machine: "Machine") -> BaseScheme:
+    """Instantiate the checkpointing scheme the config asks for."""
+    scheme = machine.config.scheme
+    if scheme is Scheme.NONE:
+        return NoCheckpointScheme(machine)
+    if scheme in (Scheme.GLOBAL, Scheme.GLOBAL_DWB):
+        return GlobalScheme(machine)
+    if scheme.is_local:
+        return ReboundScheme(machine)
+    raise ValueError(f"unknown scheme {scheme!r}")  # pragma: no cover

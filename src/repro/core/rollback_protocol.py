@@ -1,0 +1,68 @@
+"""The distributed rollback protocol of Section 3.3.5.
+
+Dual of the checkpointing protocol: the initiator sends Roll? to the
+processors in its MyConsumers, transitively collecting the Interaction
+Set for Recovery (IREC).  Each member rolls back to its own latest
+checkpoint that fully completed — including delayed writebacks — at
+least L cycles before the fault was detected (Section 4.2, third event);
+Appendix A proves these targets always form a consistent recovery line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.dep_registers import mask_to_pids
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.rebound_scheme import ReboundScheme
+    from repro.sim.cores import CoreSnapshot
+
+
+@dataclass
+class IrecResult:
+    """Outcome of building an Interaction Set for Recovery."""
+
+    targets: dict[int, "CoreSnapshot"] = field(default_factory=dict)
+    depth: int = 0
+
+    @property
+    def members(self) -> set[int]:
+        return set(self.targets)
+
+
+def build_irec(scheme: "ReboundScheme", initiator: int,
+               detect_time: float) -> IrecResult:
+    """Collect the IREC and each member's rollback target.
+
+    For every member: pick its latest safe checkpoint, then propagate
+    Roll? to the union of MyConsumers over all the intervals being
+    unwound (the logical OR of Section 4.2, second event).
+    """
+    machine = scheme.machine
+    clusters = scheme.clusters
+    latency = scheme.config.detection_latency
+    result = IrecResult()
+    frontier = [initiator]
+    if not clusters.trivial:
+        frontier.extend(
+            clusters.members_of(clusters.cluster_of(initiator)))
+    while frontier:
+        next_frontier = []
+        for pid in frontier:
+            if pid in result.targets:
+                continue
+            core = machine.cores[pid]
+            snap = core.latest_safe_snapshot(detect_time, latency)
+            result.targets[pid] = snap
+            consumers, _ = scheme.files[pid].consumers_after(snap.ckpt_id)
+            if not clusters.trivial:
+                consumers = clusters.expand_mask(consumers)
+            for consumer in mask_to_pids(consumers):
+                if consumer not in result.targets:
+                    next_frontier.append(consumer)
+        frontier = next_frontier
+        if next_frontier:
+            result.depth += 1
+    return result

@@ -1,0 +1,293 @@
+"""Scheme framework: shared checkpoint/rollback execution machinery.
+
+A *scheme* implements a checkpointing policy (who checkpoints with whom,
+and when) on top of shared mechanics: stopping a set of processors,
+writing their dirty lines back (stalling burst or background delayed
+writebacks, Section 4.1), logging, snapshotting register state, and the
+dual rollback machinery (invalidate, undo the log, rewind, re-execute).
+
+Concrete policies: :class:`repro.core.global_scheme.GlobalScheme`
+(ReVive-like) and :class:`repro.core.rebound_scheme.ReboundScheme`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.coherence.protocol import DependenceTracker
+from repro.interconnect import MessageClass
+from repro.sim.stats import CheckpointEvent, RollbackEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cores import Core, CoreSnapshot
+    from repro.sim.machine import Machine
+
+
+class BaseScheme(DependenceTracker):
+    """Common skeleton; concrete schemes override the policy hooks."""
+
+    enabled = False  # LW-ID / Dep register tracking off by default
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        self.config = machine.config
+        self.rng = random.Random(machine.config.seed)
+        self.use_dwb = machine.config.scheme.delayed_writebacks
+        self.busy_retries = 0
+        self.declines = 0
+        self.nacks = 0
+
+    def attach(self, machine: "Machine") -> None:
+        """Called once the machine is fully constructed."""
+
+    # -- policy hooks (overridden by concrete schemes) -----------------------
+    def post_op(self, core: "Core", now: float) -> None:
+        """Called after every trace record; decides checkpoint initiation."""
+
+    def on_output(self, core: "Core", now: float) -> Optional[float]:
+        """Checkpoint before output I/O; returns commit time or None to
+        retry later (the core's ``not_before`` must then be set)."""
+        return now
+
+    def on_barrier_update(self, core: "Core", barrier, now: float,
+                          is_last: bool) -> None:
+        """A processor completed a barrier's Update section (Sec 4.2.1)."""
+
+    def barrier_release_gate(self, barrier, now: float) -> float:
+        """Last chance to delay the barrier flag write (BarCK)."""
+        return now
+
+    def on_core_done(self, core: "Core", now: float) -> None:
+        """A core finished its trace."""
+
+    def handle_fault(self, pid: int, detect_time: float) -> None:
+        raise RuntimeError(
+            f"fault detected on core {pid} but scheme "
+            f"{self.config.scheme.value} has no recovery support")
+
+    def finalize(self, stats) -> None:
+        stats.busy_retries = self.busy_retries
+        stats.declines = self.declines
+        stats.nacks = self.nacks
+
+    # -- interval bookkeeping hooks -------------------------------------------
+    def _closed_interval_of(self, pid: int) -> int:
+        """Interval a checkpoint of ``pid`` would close (== snapshot id)."""
+        return self.interval_of(pid)
+
+    def _rotate(self, pid: int, now: float) -> None:
+        """Open a new interval on ``pid`` (Dep set / epoch rotation)."""
+
+    def _mark_interval_complete(self, pid: int, interval: int,
+                                now: float) -> None:
+        """Interval ``interval``'s checkpoint writebacks completed."""
+
+    # ------------------------------------------------------------------
+    # checkpoint execution (shared by Global and Rebound)
+    # ------------------------------------------------------------------
+    def _execute_checkpoint(self, members: list["Core"], now: float,
+                            kind: str, initiator: int,
+                            genuine_size: Optional[int] = None) -> float:
+        """Checkpoint ``members`` together; returns their resume time.
+
+        With delayed writebacks the members resume right after the
+        coordination sync and the dirty lines drain in the background
+        (Figure 4.1b); otherwise they stall until every member's burst
+        writeback completes (Figure 4.1a).
+        """
+        machine = self.machine
+        config = self.config
+        # Cross-processor interrupts to stop everyone, then a sync.
+        stops = {}
+        for core in members:
+            stop = now + config.msg_cycles
+            if core.blocked is None:
+                stop = max(stop, core.time)
+            stops[core.pid] = stop
+        machine.network.send(MessageClass.PROTOCOL, 2 * len(members))
+        t_sync = max(stops.values()) + config.sync_cycles
+        for core in members:
+            core.stats.ckpt_sync += t_sync - stops[core.pid]
+        dirty_total = 0
+        if not self.use_dwb:
+            completions = {}
+            intervals = {}
+            for core in sorted(members, key=lambda c: c.pid):
+                intervals[core.pid] = self._closed_interval_of(core.pid)
+                snap = core.take_snapshot(t_sync)
+                machine.log.mark_begin(t_sync, core.pid, snap.ckpt_id)
+                done, n_lines = machine.engine.checkpoint_writeback(
+                    core.pid, t_sync)
+                dirty_total += n_lines
+                completions[core.pid] = done
+            t_end = max(completions.values()) + config.sync_cycles
+            machine.network.send(MessageClass.PROTOCOL, 2 * len(members))
+            for core in members:
+                interval = intervals[core.pid]
+                snap = core.snapshots[-1]
+                machine.log.mark_end(t_end, core.pid, snap.ckpt_id)
+                machine.memory.end_interval(core.pid, interval)
+                self._rotate(core.pid, t_end)
+                self._mark_interval_complete(core.pid, interval, t_end)
+                core.instr_since_ckpt = 0
+                core.stats.wb_delay += completions[core.pid] - t_sync
+                core.stats.wb_imbalance += t_end - completions[core.pid]
+                snap.complete_time = t_end
+                self._release_member(core, t_end)
+            resume = t_end
+            duration = t_end - now
+        else:
+            max_completion = t_sync
+            for core in sorted(members, key=lambda c: c.pid):
+                interval = self._closed_interval_of(core.pid)
+                snap = core.take_snapshot(t_sync)
+                machine.log.mark_begin(t_sync, core.pid, snap.ckpt_id)
+                n_lines = machine.engine.mark_delayed(core.pid)
+                dirty_total += n_lines
+                completion = self._start_drain(core, snap, interval,
+                                               n_lines, t_sync)
+                max_completion = max(max_completion, completion)
+                self._release_member(core, t_sync)
+            resume = t_sync
+            duration = max_completion - now
+        machine.stats.checkpoints.append(CheckpointEvent(
+            time=now, initiator=initiator, kind=kind, size=len(members),
+            genuine_size=(genuine_size if genuine_size is not None
+                          else len(members)),
+            dirty_lines=dirty_total, duration=duration))
+        return resume
+
+    def _release_member(self, core: "Core", resume: float) -> None:
+        core.not_before = max(core.not_before, resume)
+        core.ckpt_busy_until = max(core.ckpt_busy_until, resume)
+
+    def _start_drain(self, core: "Core", snap, interval: int,
+                     n_lines: int, t_sync: float) -> float:
+        """Kick off a background drain; returns its completion time."""
+        machine = self.machine
+        config = self.config
+        drain = machine.channels.bg_drain_time(n_lines,
+                                               config.dwb_drain_period)
+        completion = t_sync + drain
+        core.pending_delayed = n_lines
+        core.delayed_ckpt_id = snap.ckpt_id
+        core.ckpt_busy_until = max(core.ckpt_busy_until, completion)
+        if n_lines > 0:
+            machine.channels.bg_start()
+            machine.channels.bg_account(t_sync, n_lines, drain)
+        self._rotate(core.pid, t_sync)
+        core.instr_since_ckpt = 0
+        pid, ckpt_id = core.pid, snap.ckpt_id
+
+        def complete(t: float) -> None:
+            self._complete_drain(pid, ckpt_id, interval, t)
+
+        machine.schedule(completion, complete)
+        return completion
+
+    def _complete_drain(self, pid: int, ckpt_id: int, interval: int,
+                        t: float) -> None:
+        """Finalize a delayed-writeback checkpoint (possibly early)."""
+        machine = self.machine
+        core = machine.cores[pid]
+        if core.delayed_ckpt_id != ckpt_id:
+            return  # rolled back, or already completed by acceleration
+        machine.engine.complete_delayed(pid, t, interval)
+        machine.log.mark_end(t, pid, ckpt_id)
+        machine.memory.end_interval(pid, interval)
+        try:
+            snap = core.snapshot_for(ckpt_id)
+            snap.complete_time = t
+        except KeyError:
+            pass
+        self._mark_interval_complete(pid, interval, t)
+        if core.pending_delayed > 0:
+            machine.channels.bg_stop()
+        core.pending_delayed = 0
+        core.delayed_ckpt_id = None
+        core.ckpt_busy_until = min(core.ckpt_busy_until, t)
+
+    def accelerate_drain(self, core: "Core", now: float) -> None:
+        """Hurry a pending drain after a Nack (Section 4.1)."""
+        if core.delayed_ckpt_id is None or core.pending_delayed == 0:
+            return
+        fast = now + core.pending_delayed * self.config.dwb_fast_period
+        if fast < core.ckpt_busy_until:
+            core.ckpt_busy_until = fast
+            pid = core.pid
+            ckpt_id = core.delayed_ckpt_id
+            interval = self._drain_interval_for(core)
+            self.machine.schedule(
+                fast, lambda t: self._complete_drain(pid, ckpt_id,
+                                                     interval, t))
+
+    def _drain_interval_for(self, core: "Core") -> int:
+        return self.delayed_interval_of(core.pid)
+
+    # ------------------------------------------------------------------
+    # rollback execution (shared by Global and Rebound)
+    # ------------------------------------------------------------------
+    def _execute_rollback(self, targets: dict[int, "CoreSnapshot"],
+                          detect_time: float, initiator: int,
+                          protocol_hops: int) -> RollbackEvent:
+        """Roll ``targets`` (pid -> snapshot) back together.
+
+        Invalidates the members' caches, undoes their log entries newest
+        first, rewinds the cores and repairs lock/barrier state; the
+        members then re-execute the lost work (Section 3.3.5).
+        """
+        machine = self.machine
+        config = self.config
+        members = set(targets)
+        machine.network.send(MessageClass.PROTOCOL,
+                             2 * max(1, len(members)))
+        t0 = detect_time + config.msg_cycles * max(1, protocol_hops)
+        max_depth = 0
+        wasted = 0.0
+        for pid, snap in targets.items():
+            core = machine.cores[pid]
+            depth = sum(1 for s in core.snapshots
+                        if s.ckpt_id > snap.ckpt_id) + 1
+            max_depth = max(max_depth, depth)
+            if core.pending_delayed > 0:
+                machine.channels.bg_stop()
+                core.pending_delayed = 0
+            machine.engine.invalidate_core(pid)
+        restore_targets = {pid: snap.ckpt_id
+                           for pid, snap in targets.items()}
+        entries = machine.memory.restore(restore_targets)
+        if config.check_coherence:
+            for entry in entries:
+                machine.engine.golden[entry.addr] = entry.old_value
+        restore_done = machine.channels.restore(t0, len(entries))
+        resume = restore_done + config.sync_cycles
+        for pid, snap in targets.items():
+            core = machine.cores[pid]
+            if core.done:
+                core.stats.end_time = 0.0
+                machine._n_done -= 1
+            wasted += core.rollback_to(snap, resume)
+            core.stats.recovery += resume - detect_time
+            self._drop_dep_state(pid, snap.ckpt_id, resume)
+        machine.sync.rollback_cleanup(machine, members, targets, resume)
+        for pid in targets:
+            machine.push_core(machine.cores[pid])
+        event = RollbackEvent(
+            detect_time=detect_time, initiator=initiator,
+            size=len(members), latency=resume - detect_time,
+            log_entries=len(entries), max_depth=max_depth,
+            wasted_cycles=wasted)
+        machine.stats.rollbacks.append(event)
+        return event
+
+    def _drop_dep_state(self, pid: int, ckpt_id: int, now: float) -> None:
+        """Clear dependence state of rolled-back intervals (hook)."""
+
+
+class NoCheckpointScheme(BaseScheme):
+    """Baseline with checkpointing disabled (overhead reference runs)."""
+
+    def __init__(self, machine: "Machine"):
+        super().__init__(machine)
+        self.use_dwb = False

@@ -1,0 +1,88 @@
+"""The Write Signature (WSIG): a Bloom filter over written line addresses.
+
+A 512–1024 bit register in each L2 controller encoding every line the
+processor wrote (or read exclusively) in the current checkpoint interval
+(Section 3.3.2).  Membership tests can return false positives — which
+only ever cause extra (conservative) dependences — but never false
+negatives.
+
+An exact shadow set is maintained *for statistics only*: the harness uses
+it to report the ICHK inflation caused by false positives (Table 6.1,
+row 1).  The hardware behaviour is driven exclusively by the Bloom bits.
+"""
+
+from __future__ import annotations
+
+
+def _mix(value: int, salt: int) -> int:
+    """Cheap deterministic 64-bit hash (xorshift-multiply)."""
+    x = (value ^ (salt * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class WriteSignature:
+    """Bloom-filter write signature with an exact shadow for statistics."""
+
+    __slots__ = ("n_bits", "n_hashes", "bits", "exact", "tests",
+                 "false_positives")
+
+    def __init__(self, n_bits: int = 1024, n_hashes: int = 4):
+        if n_bits <= 0 or n_bits & (n_bits - 1):
+            raise ValueError("wsig_bits must be a positive power of two")
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self.bits = 0
+        self.exact: set[int] = set()
+        self.tests = 0
+        self.false_positives = 0
+
+    def _positions(self, addr: int):
+        mask = self.n_bits - 1
+        for salt in range(self.n_hashes):
+            yield _mix(addr, salt + 1) & mask
+
+    def add(self, addr: int) -> None:
+        for pos in self._positions(addr):
+            self.bits |= 1 << pos
+        self.exact.add(addr)
+
+    def test(self, addr: int) -> tuple[bool, bool]:
+        """Membership test: ``(claims, genuine)``.
+
+        ``claims`` is the hardware answer (Bloom); ``genuine`` is the
+        exact-shadow truth.  ``claims and not genuine`` is a false
+        positive; ``not claims`` is always genuine-negative (no false
+        negatives, asserted by the property tests).
+        """
+        self.tests += 1
+        claims = all(self.bits >> pos & 1 for pos in self._positions(addr))
+        genuine = addr in self.exact
+        if claims and not genuine:
+            self.false_positives += 1
+        assert claims or not genuine, "Bloom filter false negative"
+        return claims, genuine
+
+    def clear(self) -> None:
+        """Cleared at the beginning of every checkpoint interval."""
+        self.bits = 0
+        self.exact.clear()
+
+    def merge(self, other: "WriteSignature") -> None:
+        """Fold another signature in (Dep-set merge; conservative)."""
+        self.bits |= other.bits
+        self.exact |= other.exact
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of bits set (drives the false-positive rate)."""
+        return bin(self.bits).count("1") / self.n_bits
+
+    def __contains__(self, addr: int) -> bool:
+        return all(self.bits >> pos & 1 for pos in self._positions(addr))
+
+    def __len__(self) -> int:
+        return len(self.exact)

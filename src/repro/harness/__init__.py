@@ -1,0 +1,38 @@
+"""Experiment harness: regenerates every figure/table of Chapter 6."""
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    fig6_1_ichk_parsec,
+    fig6_2_ichk_splash,
+    fig6_3_overhead,
+    fig6_4_barrier,
+    fig6_5_breakdown,
+    fig6_6_scalability,
+    fig6_7_io,
+    fig6_8_power,
+    run_experiment,
+    table6_1_characterization,
+)
+from repro.harness.report import format_bars, format_table, percent
+from repro.harness.runner import Runner, RunKey
+
+__all__ = [
+    "Runner",
+    "RunKey",
+    "ExperimentResult",
+    "run_experiment",
+    "ALL_EXPERIMENTS",
+    "fig6_1_ichk_parsec",
+    "fig6_2_ichk_splash",
+    "fig6_3_overhead",
+    "fig6_4_barrier",
+    "fig6_5_breakdown",
+    "fig6_6_scalability",
+    "fig6_7_io",
+    "fig6_8_power",
+    "table6_1_characterization",
+    "format_table",
+    "format_bars",
+    "percent",
+]

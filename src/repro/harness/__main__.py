@@ -1,0 +1,80 @@
+"""Command-line entry point: ``python -m repro.harness [experiment ...]``.
+
+Runs the requested experiments (default: all) at a reduced scale suitable
+for an interactive session and prints each figure/table as text.
+
+Options::
+
+    --cores-splash N   processor count for SPLASH-2 figures (default 64)
+    --cores-parsec N   processor count for PARSEC/Apache (default 24)
+    --scale N          config down-scale factor (default 40)
+    --intervals X      run length in checkpoint intervals (default 3)
+    --quick            tiny runs (8 cores, 2 intervals) for smoke testing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.harness.runner import Runner
+from repro.workloads import ALL_APPS, PARSEC_APACHE, SPLASH2
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.harness")
+    parser.add_argument("experiments", nargs="*",
+                        default=list(ALL_EXPERIMENTS),
+                        help=f"subset of {sorted(ALL_EXPERIMENTS)}")
+    parser.add_argument("--cores-splash", type=int, default=64)
+    parser.add_argument("--cores-parsec", type=int, default=24)
+    parser.add_argument("--scale", type=int, default=40)
+    parser.add_argument("--intervals", type=float, default=3.0)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.cores_splash = 8
+        args.cores_parsec = 8
+        args.intervals = 2.0
+        args.scale = 100
+    runner = Runner(scale=args.scale, intervals=args.intervals,
+                    verbose=True)
+    kwargs_by_experiment = {
+        "fig6_1": {"n_cores": args.cores_parsec},
+        "fig6_2": {"sizes": (min(32, args.cores_splash),
+                             args.cores_splash)},
+        "fig6_3": {"n_cores": args.cores_splash},
+        "fig6_4": {"n_cores": args.cores_splash},
+        "fig6_5": {"splash_cores": args.cores_splash,
+                   "parsec_cores": args.cores_parsec},
+        "fig6_6": {"sizes": tuple(sorted({max(4, args.cores_splash // 4),
+                                          max(4, args.cores_splash // 2),
+                                          args.cores_splash}))},
+        "fig6_7": {"n_cores": args.cores_splash},
+        "fig6_8": {"n_cores": args.cores_splash},
+        "table6_1": {"splash_cores": args.cores_splash,
+                     "parsec_cores": args.cores_parsec},
+    }
+    if args.quick:
+        subset = {"apps": SPLASH2[:3]}
+        for name in ("fig6_2", "fig6_3", "fig6_6", "fig6_8"):
+            kwargs_by_experiment[name].update(subset)
+        kwargs_by_experiment["fig6_1"]["apps"] = PARSEC_APACHE[:2]
+        kwargs_by_experiment["fig6_5"]["apps"] = ALL_APPS[:3]
+        kwargs_by_experiment["fig6_7"]["apps"] = ["blackscholes"]
+        kwargs_by_experiment["table6_1"]["apps"] = ALL_APPS[:4]
+    for name in args.experiments:
+        start = time.time()
+        result = run_experiment(name, runner,
+                                **kwargs_by_experiment.get(name, {}))
+        print()
+        print(result.render())
+        print(f"[{name} took {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Cached simulation runner for the experiment harness.
+
+Most figures share runs (e.g. the no-checkpointing baseline of an app at
+64 cores), so the runner memoizes completed simulations by their full
+parameter key within a process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.params import MachineConfig, Scheme
+from repro.sim import SimStats
+from repro.sim.machine import Machine
+from repro.workloads import get_workload, inject_output_io
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Memoization key for one simulation."""
+
+    app: str
+    n_cores: int
+    scheme: Scheme
+    intervals: float
+    seed: int
+    scale: int
+    io_every: Optional[int] = None       # output-I/O injection period
+    fault_at: Optional[float] = None     # (cycle, core-0) fault injection
+
+
+@dataclass
+class Runner:
+    """Runs and caches simulations for the experiment drivers."""
+
+    scale: int = 40
+    intervals: float = 3.0
+    seed: int = 1
+    cache: dict = field(default_factory=dict)
+    verbose: bool = False
+
+    def run(self, app: str, n_cores: int, scheme: Scheme,
+            io_every: Optional[int] = None,
+            fault_at: Optional[float] = None,
+            intervals: Optional[float] = None) -> SimStats:
+        key = RunKey(app, n_cores, scheme,
+                     intervals if intervals is not None else self.intervals,
+                     self.seed, self.scale, io_every, fault_at)
+        if key in self.cache:
+            return self.cache[key]
+        config = MachineConfig.scaled(n_cores=n_cores, scheme=scheme,
+                                      scale=self.scale)
+        workload = get_workload(app, n_cores, config,
+                                intervals=key.intervals, seed=self.seed)
+        if io_every is not None:
+            workload = inject_output_io(spec=workload, pid=0,
+                                        every_instructions=io_every)
+        faults = [(fault_at, 0)] if fault_at is not None else None
+        if self.verbose:  # pragma: no cover - progress printing
+            print(f"  running {app} x{n_cores} {scheme.value} ...",
+                  flush=True)
+        stats = Machine(config, workload, faults=faults).run()
+        self.cache[key] = stats
+        return stats
+
+    def baseline(self, app: str, n_cores: int, **kw) -> SimStats:
+        return self.run(app, n_cores, Scheme.NONE, **kw)
+
+    def overhead(self, app: str, n_cores: int, scheme: Scheme,
+                 **kw) -> float:
+        """Checkpointing overhead fraction vs. the NONE baseline."""
+        stats = self.run(app, n_cores, scheme, **kw)
+        base = self.baseline(app, n_cores, **kw)
+        return stats.overhead_vs(base)

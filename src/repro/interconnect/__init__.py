@@ -1,0 +1,5 @@
+"""Interconnect latency/message model."""
+
+from repro.interconnect.network import Interconnect, MessageClass
+
+__all__ = ["Interconnect", "MessageClass"]

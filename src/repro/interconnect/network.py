@@ -1,0 +1,70 @@
+"""Multistage-interconnect model: latencies and message accounting.
+
+The paper's timing model (Figure 4.3a) uses average round-trip latencies
+rather than a routed topology, so the network here provides the same
+abstraction: fixed latencies plus exact message *counts*, split into the
+classes needed by Table 6.1 (base coherence traffic vs. the extra
+messages that maintain LW-ID and the Dep registers) and the software
+checkpoint/rollback protocol messages.
+"""
+
+from __future__ import annotations
+
+from repro.params import MachineConfig
+
+
+class MessageClass:
+    """Message accounting buckets."""
+
+    BASE = "base"            # ordinary coherence protocol messages
+    DEP = "dep"              # extra messages for LW-ID / Dep registers
+    PROTOCOL = "protocol"    # software checkpoint/rollback protocol
+
+
+class Interconnect:
+    """Latency constants plus per-class message counters."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.counts = {MessageClass.BASE: 0,
+                       MessageClass.DEP: 0,
+                       MessageClass.PROTOCOL: 0}
+
+    # -- accounting -----------------------------------------------------------
+    def send(self, msg_class: str, n: int = 1) -> None:
+        self.counts[msg_class] += n
+
+    @property
+    def base_messages(self) -> int:
+        return self.counts[MessageClass.BASE]
+
+    @property
+    def dep_messages(self) -> int:
+        return self.counts[MessageClass.DEP]
+
+    @property
+    def protocol_messages(self) -> int:
+        return self.counts[MessageClass.PROTOCOL]
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.counts.values())
+
+    def dep_overhead_percent(self) -> float:
+        """Extra coherence messages over the base protocol (Table 6.1)."""
+        if self.base_messages == 0:
+            return 0.0
+        return 100.0 * self.dep_messages / self.base_messages
+
+    # -- latencies --------------------------------------------------------------
+    @property
+    def remote_round_trip(self) -> int:
+        return self.config.remote_l2_cycles
+
+    @property
+    def memory_round_trip(self) -> int:
+        return self.config.memory_cycles
+
+    def protocol_round_trip(self, hops: int = 1) -> int:
+        """Cost of a software-protocol exchange (interrupt + reply)."""
+        return self.config.msg_cycles * max(1, hops)

@@ -1,0 +1,29 @@
+"""Memory-hierarchy substrate: private caches, channels, log, memory."""
+
+from repro.mem.cache import (
+    Cache,
+    CacheLine,
+    EXCLUSIVE,
+    INVALID,
+    L1Cache,
+    MODIFIED,
+    SHARED,
+)
+from repro.mem.channels import MemoryChannels
+from repro.mem.log import LogEntry, Marker, ReviveLog
+from repro.mem.memory import MainMemory
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "L1Cache",
+    "MemoryChannels",
+    "MainMemory",
+    "ReviveLog",
+    "LogEntry",
+    "Marker",
+    "INVALID",
+    "SHARED",
+    "EXCLUSIVE",
+    "MODIFIED",
+]

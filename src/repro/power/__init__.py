@@ -1,0 +1,17 @@
+"""Power/energy model (CACTI/Wattch substitute at 45 nm)."""
+
+from repro.power.model import (
+    DYNAMIC_ENERGY_J,
+    EnergyReport,
+    PowerModel,
+    ed2,
+    energy_of_stats,
+)
+
+__all__ = [
+    "PowerModel",
+    "EnergyReport",
+    "energy_of_stats",
+    "ed2",
+    "DYNAMIC_ENERGY_J",
+]

@@ -1,0 +1,23 @@
+"""Cycle-approximate manycore simulator (the SESC/Pin/DRAMsim substitute)."""
+
+from repro.sim.cores import Core, CoreSnapshot
+from repro.sim.faults import FaultEvent, FaultInjector
+from repro.sim.machine import Machine, SimulationDeadlock
+from repro.sim.stats import CheckpointEvent, CoreStats, RollbackEvent, SimStats
+from repro.sim.sync import BarrierState, LockState, SyncManager
+
+__all__ = [
+    "Machine",
+    "SimulationDeadlock",
+    "Core",
+    "CoreSnapshot",
+    "SimStats",
+    "CoreStats",
+    "CheckpointEvent",
+    "RollbackEvent",
+    "FaultInjector",
+    "FaultEvent",
+    "SyncManager",
+    "LockState",
+    "BarrierState",
+]

@@ -1,0 +1,128 @@
+"""Per-core simulation state.
+
+A core executes its trace at one instruction per cycle (Figure 4.3a)
+plus memory latencies.  It carries the architectural snapshot machinery
+used by every checkpointing scheme: at a checkpoint the core's register
+state — here, its trace position, instruction counts and held
+synchronization state — is saved; a rollback rewinds the core to a
+snapshot, after which it re-executes the lost work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.stats import CoreStats
+
+
+@dataclass
+class CoreSnapshot:
+    """Register/context state captured with checkpoint ``ckpt_id``."""
+
+    ckpt_id: int
+    trace_ip: int
+    instr_count: int
+    time: float
+    held_locks: frozenset[int]
+    barrier_crossings: dict[int, int]
+    complete_time: Optional[float] = None   # writebacks (incl. delayed) done
+
+
+class Core:
+    """One tile's core: trace cursor, clock, block state, snapshots."""
+
+    __slots__ = (
+        "pid", "trace", "ip", "time", "instr_count", "instr_since_ckpt",
+        "done", "blocked", "block_site", "block_start", "epoch",
+        "not_before", "held_locks", "barrier_crossings", "stats",
+        "store_seq", "ckpt_busy_until", "snapshots", "next_ckpt_id",
+        "pending_delayed", "delayed_ckpt_id",
+    )
+
+    def __init__(self, pid: int, trace: list[tuple]):
+        self.pid = pid
+        self.trace = trace
+        self.ip = 0
+        self.time = 0.0
+        self.instr_count = 0
+        self.instr_since_ckpt = 0
+        self.done = False
+        self.blocked: Optional[str] = None      # None|'lock'|'barrier'
+        self.block_site: Optional[int] = None
+        self.block_start = 0.0
+        self.epoch = 0                          # guards stale heap entries
+        self.not_before = 0.0                   # scheme-injected delay floor
+        self.held_locks: set[int] = set()
+        self.barrier_crossings: dict[int, int] = {}
+        self.stats = CoreStats()
+        self.store_seq = 0
+        # While a checkpoint (or its delayed drain) is in flight the core
+        # Nacks/Busies external checkpoint requests (Sections 3.3.4, 4.1).
+        self.ckpt_busy_until = 0.0
+        # Snapshot 0 is program start; rolling back to it replays all work.
+        self.snapshots: list[CoreSnapshot] = [
+            CoreSnapshot(0, 0, 0, 0.0, frozenset(), {}, complete_time=0.0)
+        ]
+        self.next_ckpt_id = 1
+        self.pending_delayed = 0                # lines still draining
+        self.delayed_ckpt_id: Optional[int] = None
+
+    # -- values -------------------------------------------------------------
+    def next_store_value(self) -> int:
+        """Unique architectural value for the next store (pid, seq)."""
+        self.store_seq += 1
+        return (self.pid << 40) | self.store_seq
+
+    # -- snapshots ------------------------------------------------------------
+    def take_snapshot(self, now: float) -> CoreSnapshot:
+        snap = CoreSnapshot(
+            self.next_ckpt_id, self.ip, self.instr_count, now,
+            frozenset(self.held_locks), dict(self.barrier_crossings))
+        self.snapshots.append(snap)
+        self.next_ckpt_id += 1
+        self.stats.n_checkpoints += 1
+        self.stats.ckpt_gap_sum += now - self.stats.last_ckpt_time
+        self.stats.ckpt_gap_count += 1
+        self.stats.last_ckpt_time = now
+        return snap
+
+    def snapshot_for(self, ckpt_id: int) -> CoreSnapshot:
+        for snap in reversed(self.snapshots):
+            if snap.ckpt_id == ckpt_id:
+                return snap
+        raise KeyError(f"core {self.pid}: no snapshot {ckpt_id}")
+
+    def latest_safe_snapshot(self, detect_time: float,
+                             detection_latency: float) -> CoreSnapshot:
+        """Newest snapshot fully complete >= L cycles before detection.
+
+        The program-start snapshot always qualifies, so recovery can never
+        fail to find a target (Appendix A relies on this).
+        """
+        for snap in reversed(self.snapshots):
+            done = snap.complete_time
+            if done is not None and detect_time - done >= detection_latency:
+                return snap
+        return self.snapshots[0]
+
+    def rollback_to(self, snap: CoreSnapshot, resume_time: float) -> float:
+        """Rewind to ``snap``; returns the wasted (discarded) cycles."""
+        wasted = max(0.0, self.time - snap.time)
+        self.ip = snap.trace_ip
+        self.instr_count = snap.instr_count
+        self.instr_since_ckpt = 0
+        self.held_locks = set(snap.held_locks)
+        self.barrier_crossings = dict(snap.barrier_crossings)
+        self.snapshots = [s for s in self.snapshots
+                          if s.ckpt_id <= snap.ckpt_id]
+        self.next_ckpt_id = snap.ckpt_id + 1
+        self.time = resume_time
+        self.blocked = None
+        self.block_site = None
+        self.done = False
+        self.not_before = resume_time
+        self.ckpt_busy_until = resume_time
+        self.pending_delayed = 0
+        self.delayed_ckpt_id = None
+        return wasted

@@ -1,0 +1,53 @@
+"""Fault injection under the paper's fault model (Section 3.2).
+
+Transient or permanent faults can strike any core at any time, including
+during a checkpoint.  Detection is out of scope for the paper except for
+its latency: a fault occurring at time ``t`` is revealed to the recovery
+machinery at ``t + L``, and a checkpoint that completed more than L
+cycles ago is safe.  Off-chip memory and the log never fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault and its detection time."""
+
+    time: float
+    pid: int
+    detect_time: float = field(init=False)
+    detected: bool = False
+
+    def __post_init__(self):
+        self.detect_time = self.time  # patched by the injector
+
+
+class FaultInjector:
+    """Hands faults to the scheme once their detection latency elapses."""
+
+    def __init__(self, faults: list[tuple[float, int]],
+                 detection_latency: float):
+        self.detection_latency = detection_latency
+        self.pending: list[FaultEvent] = []
+        for time, pid in sorted(faults):
+            event = FaultEvent(time, pid)
+            event.detect_time = time + detection_latency
+            self.pending.append(event)
+        self.delivered: list[FaultEvent] = []
+
+    def due(self, now: float) -> list[FaultEvent]:
+        """Faults whose detection time has been reached."""
+        out = []
+        while self.pending and self.pending[0].detect_time <= now:
+            event = self.pending.pop(0)
+            event.detected = True
+            self.delivered.append(event)
+            out.append(event)
+        return out
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.pending)

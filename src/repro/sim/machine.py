@@ -1,0 +1,251 @@
+"""The manycore machine: event loop, trace execution, run assembly.
+
+Execution model (DESIGN.md §4): a min-heap orders cores by local time;
+one trace record executes atomically at its timestamp against the shared
+structures (caches, directory, channels, log).  Checkpointing schemes
+inject delays through ``core.not_before`` and scheduled callbacks; fault
+injection reveals faults after the detection latency L and hands them to
+the scheme's rollback protocol.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.coherence.protocol import CoherenceEngine
+from repro.core.factory import build_scheme
+from repro.interconnect import Interconnect
+from repro.mem import MainMemory, MemoryChannels, ReviveLog
+from repro.params import MachineConfig
+from repro.sim.cores import Core
+from repro.sim.faults import FaultInjector
+from repro.sim.stats import SimStats
+from repro.sim.sync import SyncManager
+from repro.trace import (
+    BARRIER,
+    COMPUTE,
+    END,
+    LOAD,
+    LOCK,
+    OUTPUT,
+    STORE,
+    UNLOCK,
+)
+from repro.workloads.base import WorkloadSpec
+
+_EXEC = 0
+_CALL = 1
+
+
+class SimulationDeadlock(RuntimeError):
+    """No runnable core remains while work is outstanding."""
+
+
+class Machine:
+    """A manycore running one workload under one checkpointing scheme."""
+
+    def __init__(self, config: MachineConfig, workload: WorkloadSpec,
+                 faults: Optional[list[tuple[float, int]]] = None):
+        if workload.n_threads > config.n_cores:
+            raise ValueError(
+                f"workload needs {workload.n_threads} threads but the "
+                f"machine has {config.n_cores} cores")
+        self.config = config
+        self.workload = workload
+        self.log = ReviveLog(n_banks=config.n_mem_channels,
+                             bin_cycles=max(1, config.checkpoint_interval))
+        self.memory = MainMemory(self.log)
+        self.channels = MemoryChannels(config)
+        self.network = Interconnect(config)
+        self.scheme = build_scheme(self)
+        self.engine = CoherenceEngine(config, self.channels, self.memory,
+                                      self.network, self.scheme)
+        self.cores = [Core(pid, trace)
+                      for pid, trace in enumerate(workload.traces)]
+        self.sync = SyncManager()
+        for lock in workload.locks:
+            self.sync.add_lock(lock.lock_id, lock.line)
+        for barrier in workload.barriers:
+            self.sync.add_barrier(barrier.barrier_id, barrier.participants,
+                                  barrier.count_line, barrier.flag_line)
+        self.faults = FaultInjector(faults or [], config.detection_latency)
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._n_done = 0
+        self.now = 0.0
+        self.stats = SimStats(config=config, scheme=config.scheme,
+                              workload=workload.name)
+        self.scheme.attach(self)
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def push_core(self, core: Core) -> None:
+        """(Re)schedule a core at max(core.time, core.not_before)."""
+        if core.done or core.blocked is not None:
+            return
+        core.epoch += 1
+        self._seq += 1
+        when = max(core.time, core.not_before)
+        heapq.heappush(self._heap,
+                       (when, self._seq, _EXEC, core.pid, core.epoch))
+
+    def schedule(self, when: float, callback: Callable[[float], None]) -> None:
+        """Run ``callback(time)`` at simulated time ``when``."""
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, _CALL, callback, None))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: Optional[float] = None) -> SimStats:
+        for core in self.cores:
+            if not core.trace:
+                core.done = True
+                self._n_done += 1
+            else:
+                self.push_core(core)
+        while self._n_done < len(self.cores):
+            if not self._heap:
+                self._diagnose_deadlock()
+            when, _, kind, a, b = heapq.heappop(self._heap)
+            self.now = max(self.now, when)
+            if max_cycles is not None and when > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles:,.0f} cycles")
+            pending = self.faults.due(when)
+            for fault in pending:
+                self.scheme.handle_fault(fault.pid, fault.detect_time)
+            if kind == _CALL:
+                a(when)
+                continue
+            core = self.cores[a]
+            if core.done or core.blocked is not None or b != core.epoch:
+                continue  # stale entry
+            if when < core.not_before:
+                self.push_core(core)
+                continue
+            self._execute(core, max(when, core.time))
+        # The application finished, but background work (delayed-writeback
+        # drains) may still be scheduled: let it complete so checkpoints
+        # close and the log/markers are consistent.
+        while self._heap:
+            when, _, kind, a, _ = heapq.heappop(self._heap)
+            if kind == _CALL:
+                self.now = max(self.now, when)
+                a(when)
+        return self.finalize()
+
+    def _diagnose_deadlock(self) -> None:
+        states = []
+        for core in self.cores:
+            if not core.done:
+                states.append(f"core {core.pid}: blocked={core.blocked} "
+                              f"site={core.block_site} ip={core.ip}")
+        raise SimulationDeadlock("no runnable core; waiting: " +
+                                 "; ".join(states))
+
+    # ------------------------------------------------------------------
+    # trace execution
+    # ------------------------------------------------------------------
+    def _execute(self, core: Core, now: float) -> None:
+        # Checkpoint-initiation decisions run here, at the core's true
+        # position in the global time order — not at the end-time of a
+        # long record committed eagerly during an earlier pop.
+        self.scheme.post_op(core, now)
+        if core.not_before > now:
+            self.push_core(core)   # back-off / checkpoint stall injected
+            return
+        trace = core.trace
+        record = trace[core.ip] if core.ip < len(trace) else (END,)
+        op = record[0]
+        if op == COMPUTE:
+            n = record[1]
+            core.time = now + n
+            core.instr_count += n
+            core.instr_since_ckpt += n
+            core.stats.busy += n
+            core.ip += 1
+        elif op == LOAD:
+            latency = self.engine.load(core.pid, record[1], now)
+            core.time = now + latency
+            core.instr_count += 1
+            core.instr_since_ckpt += 1
+            core.stats.busy += latency
+            core.ip += 1
+        elif op == STORE:
+            latency = self.engine.store(core.pid, record[1],
+                                        core.next_store_value(), now)
+            core.time = now + latency
+            core.instr_count += 1
+            core.instr_since_ckpt += 1
+            core.stats.busy += latency
+            core.ip += 1
+        elif op == BARRIER:
+            result = self.sync.barrier_arrive(self, core, record[1], now)
+            if result is None:
+                return  # blocked; ip advances on release
+            core.ip += 1
+            core.time = result
+        elif op == LOCK:
+            result = self.sync.lock_acquire(self, core, record[1], now)
+            if result is None:
+                return  # blocked; ip advances on grant
+            core.ip += 1
+            core.time = result
+        elif op == UNLOCK:
+            core.time = self.sync.lock_release(self, core, record[1], now)
+            core.ip += 1
+        elif op == OUTPUT:
+            # Output I/O must be preceded by a checkpoint (Section 6.4).
+            after = self.scheme.on_output(core, now)
+            core.time = after + self.config.io_cycles
+            core.stats.busy += self.config.io_cycles
+            core.instr_count += 1
+            core.instr_since_ckpt += 1
+            core.ip += 1
+        elif op == END:
+            core.done = True
+            core.stats.end_time = core.time
+            self._n_done += 1
+            self.scheme.on_core_done(core, now)
+            return
+        else:  # pragma: no cover - malformed trace
+            raise ValueError(f"unknown trace op {record!r}")
+        self.push_core(core)
+
+    # ------------------------------------------------------------------
+    # wiring helpers used by schemes and sync
+    # ------------------------------------------------------------------
+    def wake_core(self, core: Core, when: float) -> None:
+        """Unblock and reschedule a core at ``when``."""
+        core.blocked = None
+        core.block_site = None
+        core.time = max(core.time, when)
+        self.push_core(core)
+
+    # ------------------------------------------------------------------
+    # run assembly
+    # ------------------------------------------------------------------
+    def finalize(self) -> SimStats:
+        stats = self.stats
+        stats.cores = [core.stats for core in self.cores]
+        for pid, core in enumerate(self.cores):
+            core.stats.ipc_delay += self.engine.ckpt_wait[pid]
+            core.stats.end_time = max(core.stats.end_time, core.time)
+        stats.runtime = max((c.end_time for c in stats.cores), default=0.0)
+        stats.total_instructions = sum(c.instr_count for c in self.cores)
+        for core in self.cores:
+            core.stats.instructions = core.instr_count
+        stats.base_messages = self.network.base_messages
+        stats.dep_messages = self.network.dep_messages
+        stats.protocol_messages = self.network.protocol_messages
+        stats.log_bytes = self.log.total_bytes
+        stats.max_interval_log_bytes = self.log.max_interval_bytes()
+        self.scheme.finalize(stats)
+        stats.energy_events = dict(self.engine.energy)
+        return stats
+
+    def unfinished_cores(self) -> list[int]:
+        return [c.pid for c in self.cores if not c.done]

@@ -1,0 +1,183 @@
+"""Statistics collection for simulation runs.
+
+Every stall cycle is attributed to one of the four categories of the
+Figure 6.5 breakdown (WBDelay, WBImbalanceDelay, SyncDelay, IPCDelay),
+and every checkpoint/rollback becomes an event record so the harness can
+compute interaction-set sizes (Figures 6.1/6.2), recovery latencies
+(Figure 6.6c) and effective checkpoint intervals (Figure 6.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.params import MachineConfig, Scheme
+
+
+@dataclass
+class CheckpointEvent:
+    """One checkpoint of a set of processors."""
+
+    time: float
+    initiator: int
+    kind: str                 # "interval" | "global" | "barrier" | "io"
+    size: int                 # |ICHK| including the initiator
+    genuine_size: int         # |ICHK| had the WSIG been exact
+    dirty_lines: int          # lines written back
+    duration: float           # sync start -> writebacks complete
+
+
+@dataclass
+class RollbackEvent:
+    """One recovery: a set of processors rolled back together."""
+
+    detect_time: float
+    initiator: int
+    size: int                 # |IREC|
+    latency: float            # detection -> execution resumes
+    log_entries: int          # entries undone
+    max_depth: int            # checkpoint intervals unwound (domino bound)
+    wasted_cycles: float      # work discarded across the set
+
+
+@dataclass
+class CoreStats:
+    """Per-core cycle accounting."""
+
+    busy: float = 0.0             # executing instructions / memory ops
+    sync_wait: float = 0.0        # application locks and barriers
+    wb_delay: float = 0.0         # stalled on own checkpoint writebacks
+    wb_imbalance: float = 0.0     # waiting for other checkpointers' WBs
+    ckpt_sync: float = 0.0        # checkpoint coordination cost
+    ipc_delay: float = 0.0        # demand misses queued behind ckpt traffic
+    depset_stall: float = 0.0     # out of Dep register sets (Section 4.2)
+    recovery: float = 0.0         # rollback machinery (invalidate+restore)
+    instructions: int = 0
+    n_checkpoints: int = 0
+    end_time: float = 0.0
+    last_ckpt_time: float = 0.0
+    ckpt_gap_sum: float = 0.0     # for the Fig 6.7 effective interval
+    ckpt_gap_count: int = 0
+
+    @property
+    def ckpt_overhead_cycles(self) -> float:
+        return (self.wb_delay + self.wb_imbalance + self.ckpt_sync +
+                self.ipc_delay + self.depset_stall)
+
+    @property
+    def mean_ckpt_gap(self) -> float:
+        if self.ckpt_gap_count == 0:
+            return 0.0
+        return self.ckpt_gap_sum / self.ckpt_gap_count
+
+
+@dataclass
+class SimStats:
+    """Everything a run produces; built by :class:`repro.sim.Machine`."""
+
+    config: MachineConfig
+    scheme: Scheme
+    workload: str
+    runtime: float = 0.0
+    total_instructions: int = 0
+    cores: list[CoreStats] = field(default_factory=list)
+    checkpoints: list[CheckpointEvent] = field(default_factory=list)
+    rollbacks: list[RollbackEvent] = field(default_factory=list)
+    # Traffic / storage / structure counters.
+    base_messages: int = 0
+    dep_messages: int = 0
+    protocol_messages: int = 0
+    log_bytes: int = 0
+    max_interval_log_bytes: int = 0
+    wsig_false_positives: int = 0
+    wsig_tests: int = 0
+    busy_retries: int = 0
+    declines: int = 0
+    nacks: int = 0
+    energy_events: dict[str, int] = field(default_factory=dict)
+    energy_joules: float = 0.0
+    baseline_energy_joules: float = 0.0
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def overhead_vs(self, baseline: "SimStats") -> float:
+        """Checkpointing overhead as a fraction of error-free runtime."""
+        if baseline.runtime <= 0:
+            return 0.0
+        return (self.runtime - baseline.runtime) / baseline.runtime
+
+    def breakdown(self) -> dict[str, float]:
+        """Total stall cycles per Figure 6.5 category, summed over cores."""
+        out = {"WBDelay": 0.0, "WBImbalanceDelay": 0.0,
+               "SyncDelay": 0.0, "IPCDelay": 0.0}
+        for core in self.cores:
+            out["WBDelay"] += core.wb_delay
+            out["WBImbalanceDelay"] += core.wb_imbalance
+            out["SyncDelay"] += core.ckpt_sync + core.depset_stall
+            out["IPCDelay"] += core.ipc_delay
+        return out
+
+    def mean_ichk_fraction(self, kinds: tuple[str, ...] = ("interval", "io")
+                           ) -> float:
+        """Average |ICHK| / n_cores over checkpoint events (Fig 6.1/6.2)."""
+        sizes = [e.size for e in self.checkpoints if e.kind in kinds]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / (len(sizes) * self.n_cores)
+
+    def mean_genuine_ichk_fraction(
+            self, kinds: tuple[str, ...] = ("interval", "io")) -> float:
+        sizes = [e.genuine_size for e in self.checkpoints
+                 if e.kind in kinds]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / (len(sizes) * self.n_cores)
+
+    def ichk_fp_increase_percent(self) -> float:
+        """% ICHK growth caused by WSIG false positives (Table 6.1)."""
+        genuine = self.mean_genuine_ichk_fraction()
+        actual = self.mean_ichk_fraction()
+        if genuine <= 0:
+            return 0.0
+        return 100.0 * (actual - genuine) / genuine
+
+    def dep_message_percent(self) -> float:
+        """Extra coherence messages over the base protocol (Table 6.1)."""
+        if self.base_messages == 0:
+            return 0.0
+        return 100.0 * self.dep_messages / self.base_messages
+
+    def mean_recovery_latency(self) -> float:
+        if not self.rollbacks:
+            return 0.0
+        return sum(r.latency for r in self.rollbacks) / len(self.rollbacks)
+
+    def mean_effective_ckpt_interval(self) -> float:
+        """Average time between a core's consecutive checkpoints (Fig 6.7)."""
+        gaps = [c.mean_ckpt_gap for c in self.cores if c.ckpt_gap_count > 0]
+        if not gaps:
+            return 0.0
+        return sum(gaps) / len(gaps)
+
+    def max_rollback_depth(self) -> int:
+        return max((r.max_depth for r in self.rollbacks), default=0)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        lines = [
+            f"workload={self.workload} scheme={self.scheme.value} "
+            f"cores={self.n_cores}",
+            f"runtime={self.runtime:,.0f} cycles  "
+            f"instructions={self.total_instructions:,}",
+            f"checkpoints={len(self.checkpoints)} "
+            f"mean ICHK={100 * self.mean_ichk_fraction():.1f}% "
+            f"rollbacks={len(self.rollbacks)}",
+            f"messages base={self.base_messages} dep={self.dep_messages} "
+            f"(+{self.dep_message_percent():.1f}%)",
+            f"log={self.log_bytes / 1e6:.2f} MB total",
+        ]
+        return "\n".join(lines)

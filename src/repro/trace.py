@@ -1,0 +1,79 @@
+"""Trace record definitions shared by the workloads and the simulator.
+
+A thread's execution is a list of compact tuples.  Compute bursts are
+run-length encoded; only the memory accesses that matter for coherence,
+checkpointing and dependence tracking are explicit (see DESIGN.md §3).
+
+Record formats::
+
+    (COMPUTE, n_instructions)
+    (LOAD, line_addr)
+    (STORE, line_addr)
+    (BARRIER, barrier_id)
+    (LOCK, lock_id)
+    (UNLOCK, lock_id)
+    (OUTPUT, n_bytes)        # output I/O: checkpoint-before-commit
+    (END,)                   # appended automatically by the machine
+
+Addresses are cache-line numbers.  The :class:`AddressSpace` helper hands
+out non-overlapping line regions for private data, shared data and
+synchronization variables.
+"""
+
+from __future__ import annotations
+
+COMPUTE = 0
+LOAD = 1
+STORE = 2
+BARRIER = 3
+LOCK = 4
+UNLOCK = 5
+OUTPUT = 6
+END = 7
+
+OP_NAMES = {
+    COMPUTE: "compute",
+    LOAD: "load",
+    STORE: "store",
+    BARRIER: "barrier",
+    LOCK: "lock",
+    UNLOCK: "unlock",
+    OUTPUT: "output",
+    END: "end",
+}
+
+
+class AddressSpace:
+    """Sequential allocator of disjoint line-address regions."""
+
+    #: synchronization variables live in their own region so they never
+    #: collide with data lines (they are still ordinary coherent lines).
+    SYNC_BASE = 1 << 40
+
+    def __init__(self, base: int = 0):
+        self._next = base
+        self._next_sync = self.SYNC_BASE
+
+    def region(self, n_lines: int) -> range:
+        """Allocate ``n_lines`` consecutive line addresses."""
+        start = self._next
+        self._next += n_lines
+        return range(start, start + n_lines)
+
+    def sync_line(self) -> int:
+        """Allocate one line for a lock word / barrier counter / flag."""
+        line = self._next_sync
+        self._next_sync += 1
+        return line
+
+
+def trace_instruction_count(trace: list[tuple]) -> int:
+    """Number of instructions a trace represents (memory ops count as 1)."""
+    total = 0
+    for rec in trace:
+        op = rec[0]
+        if op == COMPUTE:
+            total += rec[1]
+        elif op in (LOAD, STORE, LOCK, UNLOCK, OUTPUT):
+            total += 1
+    return total

@@ -1,0 +1,37 @@
+"""Synthetic workload models of the paper's 18 applications."""
+
+from repro.workloads.base import BarrierSpec, LockSpec, WorkloadSpec
+from repro.workloads.io_inject import inject_output_io
+from repro.workloads.profiles import (
+    ALL_APPS,
+    BARRIER_INTENSIVE,
+    LOW_ICHK,
+    PARSEC,
+    PARSEC_APACHE,
+    PROFILES,
+    SPLASH2,
+    AppProfile,
+    get_profile,
+)
+from repro.workloads.registry import get_workload, list_workloads
+from repro.workloads.synthetic import SyntheticWorkload, build_workload
+
+__all__ = [
+    "WorkloadSpec",
+    "LockSpec",
+    "BarrierSpec",
+    "AppProfile",
+    "PROFILES",
+    "SPLASH2",
+    "PARSEC",
+    "PARSEC_APACHE",
+    "ALL_APPS",
+    "BARRIER_INTENSIVE",
+    "LOW_ICHK",
+    "get_profile",
+    "get_workload",
+    "list_workloads",
+    "build_workload",
+    "SyntheticWorkload",
+    "inject_output_io",
+]

@@ -1,0 +1,41 @@
+"""Workload description consumed by the machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LockSpec:
+    """One application lock and the cache line backing it."""
+
+    lock_id: int
+    line: int
+
+
+@dataclass(frozen=True)
+class BarrierSpec:
+    """One barrier: its participants and its count/flag cache lines."""
+
+    barrier_id: int
+    participants: list[int]
+    count_line: int
+    flag_line: int
+
+
+@dataclass
+class WorkloadSpec:
+    """A fully generated workload: one trace per thread plus sync plan."""
+
+    name: str
+    traces: list[list[tuple]]
+    locks: list[LockSpec] = field(default_factory=list)
+    barriers: list[BarrierSpec] = field(default_factory=list)
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.traces)
+
+    def total_instructions(self) -> int:
+        from repro.trace import trace_instruction_count
+        return sum(trace_instruction_count(t) for t in self.traces)

@@ -1,0 +1,59 @@
+"""Output-I/O injection for the Figure 6.7 experiment.
+
+Output I/O must be preceded by a checkpoint (Section 6.4): the paper
+forces one processor out of 64 to initiate a checkpoint every half
+checkpoint interval, as if it were writing output, and measures how far
+the *other* processors' effective checkpoint intervals degrade under
+Global versus Rebound.
+"""
+
+from __future__ import annotations
+
+from repro.trace import COMPUTE, LOAD, LOCK, OUTPUT, STORE, UNLOCK
+from repro.workloads.base import WorkloadSpec
+
+_INSTR_OPS = (LOAD, STORE, LOCK, UNLOCK, OUTPUT)
+
+
+def inject_output_io(spec: WorkloadSpec, pid: int = 0,
+                     every_instructions: int = 2_000_000,
+                     io_bytes: int = 4096) -> WorkloadSpec:
+    """Insert an OUTPUT record into thread ``pid`` every N instructions.
+
+    Returns a new spec; the other threads are untouched.
+    """
+    if not 0 <= pid < spec.n_threads:
+        raise ValueError(f"thread {pid} out of range")
+    trace = spec.traces[pid]
+    new_trace: list[tuple] = []
+    instr = 0
+    next_io = every_instructions
+    for record in trace:
+        op = record[0]
+        if op == COMPUTE:
+            remaining = record[1]
+            # Split compute bursts so the OUTPUT lands on schedule.
+            while instr + remaining >= next_io:
+                chunk = next_io - instr
+                if chunk > 0:
+                    new_trace.append((COMPUTE, chunk))
+                    instr += chunk
+                    remaining -= chunk
+                new_trace.append((OUTPUT, io_bytes))
+                instr += 1
+                next_io += every_instructions
+            if remaining > 0:
+                new_trace.append((COMPUTE, remaining))
+                instr += remaining
+            continue
+        new_trace.append(record)
+        if op in _INSTR_OPS:
+            instr += 1
+            if instr >= next_io:
+                new_trace.append((OUTPUT, io_bytes))
+                instr += 1
+                next_io += every_instructions
+    traces = list(spec.traces)
+    traces[pid] = new_trace
+    return WorkloadSpec(name=f"{spec.name}+io", traces=traces,
+                        locks=spec.locks, barriers=spec.barriers)

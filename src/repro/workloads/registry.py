@@ -1,0 +1,25 @@
+"""Workload lookup by name, mirroring Figure 4.3(b)."""
+
+from __future__ import annotations
+
+from repro.params import MachineConfig
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.profiles import ALL_APPS, get_profile
+from repro.workloads.synthetic import build_workload
+
+
+def list_workloads() -> list[str]:
+    """Names of all 18 modeled applications."""
+    return list(ALL_APPS)
+
+
+def get_workload(name: str, n_threads: int, config: MachineConfig,
+                 intervals: float = 5.0, seed: int = 1) -> WorkloadSpec:
+    """Build the named application's workload for ``n_threads`` threads.
+
+    ``intervals`` sets the run length in checkpoint intervals; the
+    footprints scale with ``config.checkpoint_interval`` (DESIGN.md §3).
+    """
+    profile = get_profile(name)
+    return build_workload(profile, n_threads, config.checkpoint_interval,
+                          intervals=intervals, seed=seed)

@@ -1,0 +1,60 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import CacheConfig, MachineConfig, Scheme
+from repro.sim.machine import Machine
+from repro.trace import AddressSpace
+from repro.workloads.base import BarrierSpec, LockSpec, WorkloadSpec
+
+
+def tiny_config(n_cores: int = 4, scheme: Scheme = Scheme.REBOUND,
+                **overrides) -> MachineConfig:
+    """A very small machine for fast, deterministic unit tests."""
+    base = MachineConfig(
+        n_cores=n_cores,
+        scheme=scheme,
+        l1=CacheConfig(256, 2, hit_cycles=2),      # 8 lines
+        l2=CacheConfig(1024, 4, hit_cycles=8),     # 32 lines
+        checkpoint_interval=2_000,
+        detection_latency=400,
+        backoff_max=100,
+        wsig_bits=128,
+        check_coherence=True,
+    )
+    return base.replace(**overrides) if overrides else base
+
+
+def make_spec(traces, locks=(), barriers=(), name="test") -> WorkloadSpec:
+    """WorkloadSpec from raw trace lists."""
+    return WorkloadSpec(name=name, traces=[list(t) for t in traces],
+                        locks=list(locks), barriers=list(barriers))
+
+
+def make_machine(traces, config=None, locks=(), barriers=(), faults=None,
+                 **overrides) -> Machine:
+    config = config or tiny_config(n_cores=max(2, len(traces)), **overrides)
+    spec = make_spec(traces, locks=locks, barriers=barriers)
+    return Machine(config, spec, faults=faults)
+
+
+def barrier_spec(n_threads: int, barrier_id: int = 0,
+                 space: AddressSpace | None = None) -> BarrierSpec:
+    space = space or AddressSpace()
+    return BarrierSpec(barrier_id=barrier_id,
+                       participants=list(range(n_threads)),
+                       count_line=space.sync_line(),
+                       flag_line=space.sync_line())
+
+
+def lock_spec(lock_id: int = 0,
+              space: AddressSpace | None = None) -> LockSpec:
+    space = space or AddressSpace()
+    return LockSpec(lock_id=lock_id, line=space.sync_line())
+
+
+@pytest.fixture
+def config():
+    return tiny_config()

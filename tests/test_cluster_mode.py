@@ -1,0 +1,97 @@
+"""Tests for cluster-granular dependence tracking (Chapter 8 extension)."""
+
+import pytest
+
+from repro.core.cluster import ClusterMap
+from repro.params import Scheme
+from repro.trace import COMPUTE, END, LOAD, STORE
+from tests.conftest import make_machine, tiny_config
+
+
+class TestClusterMap:
+    def test_mapping(self):
+        cmap = ClusterMap(8, 4)
+        assert cmap.n_clusters == 2
+        assert cmap.cluster_of(0) == 0
+        assert cmap.cluster_of(5) == 1
+        assert cmap.members_of(1) == [4, 5, 6, 7]
+
+    def test_ragged_last_cluster(self):
+        cmap = ClusterMap(6, 4)
+        assert cmap.n_clusters == 2
+        assert cmap.members_of(1) == [4, 5]
+
+    def test_expand_pid(self):
+        cmap = ClusterMap(8, 4)
+        assert cmap.expand_pid(1) == 0b1111
+        assert cmap.expand_pid(6) == 0b11110000
+
+    def test_expand_mask(self):
+        cmap = ClusterMap(8, 4)
+        assert cmap.expand_mask(0b10) == 0b1111
+        assert cmap.expand_mask(0b10010000) == 0b11110000
+        assert cmap.expand_mask(0) == 0
+
+    def test_trivial(self):
+        assert ClusterMap(8, 1).trivial
+        assert not ClusterMap(8, 2).trivial
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ClusterMap(8, 0)
+
+
+class TestClusterScheme:
+    def _machine(self, traces, cluster_size, faults=None):
+        config = tiny_config(4, Scheme.REBOUND,
+                             dep_cluster_size=cluster_size)
+        return make_machine(traces, config=config, faults=faults)
+
+    def test_checkpoint_drags_whole_cluster(self):
+        # P0 produces for P2 (different clusters of size 2): the
+        # checkpoint must include both full clusters.
+        traces = [
+            [(STORE, 5), (COMPUTE, 9000), (END,)],
+            [(COMPUTE, 9200), (END,)],
+            [(COMPUTE, 300), (LOAD, 5), (COMPUTE, 5000), (END,)],
+            [(COMPUTE, 9200), (END,)],
+        ]
+        machine = self._machine(traces, cluster_size=2)
+        stats = machine.run()
+        sizes = {e.size for e in stats.checkpoints
+                 if e.kind == "interval"}
+        assert 4 in sizes
+
+    def test_per_processor_mode_stays_small(self):
+        traces = [
+            [(STORE, 5), (COMPUTE, 9000), (END,)],
+            [(COMPUTE, 9200), (END,)],
+            [(COMPUTE, 300), (LOAD, 5), (COMPUTE, 5000), (END,)],
+            [(COMPUTE, 9200), (END,)],
+        ]
+        machine = self._machine(traces, cluster_size=1)
+        stats = machine.run()
+        assert all(e.size <= 2 for e in stats.checkpoints
+                   if e.kind == "interval")
+
+    def test_rollback_covers_cluster(self):
+        traces = [
+            [(STORE, 5), (COMPUTE, 9000), (END,)],
+            [(COMPUTE, 9200), (END,)],
+            [(COMPUTE, 300), (LOAD, 5), (COMPUTE, 5000), (END,)],
+            [(COMPUTE, 9200), (END,)],
+        ]
+        machine = self._machine(traces, cluster_size=2,
+                                faults=[(1000.0, 0)])
+        stats = machine.run()
+        assert stats.rollbacks[0].size == 4
+        assert all(core.done for core in machine.cores)
+
+    def test_cluster_runs_on_synthetic_workload(self):
+        from repro import run_app
+        stats = run_app("blackscholes", n_cores=8, scheme=Scheme.REBOUND,
+                        intervals=2, dep_cluster_size=4)
+        small = run_app("blackscholes", n_cores=8, scheme=Scheme.REBOUND,
+                        intervals=2)
+        # Coarser tracking can only enlarge interaction sets.
+        assert stats.mean_ichk_fraction() >= small.mean_ichk_fraction()

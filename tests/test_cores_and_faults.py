@@ -1,0 +1,113 @@
+"""Tests for per-core state (snapshots, rewind) and fault injection."""
+
+from repro.sim.cores import Core
+from repro.sim.faults import FaultInjector
+
+
+class TestCoreSnapshots:
+    def test_snapshot_captures_context(self):
+        core = Core(0, [("x",)] * 10)
+        core.ip = 4
+        core.instr_count = 123
+        core.held_locks.add(7)
+        core.barrier_crossings[0] = 2
+        snap = core.take_snapshot(500.0)
+        assert snap.ckpt_id == 1
+        assert snap.trace_ip == 4
+        assert snap.instr_count == 123
+        assert snap.held_locks == frozenset({7})
+        assert snap.barrier_crossings == {0: 2}
+        assert snap.complete_time is None
+
+    def test_snapshot_ids_monotonic(self):
+        core = Core(0, [])
+        a = core.take_snapshot(1.0)
+        b = core.take_snapshot(2.0)
+        assert b.ckpt_id == a.ckpt_id + 1
+
+    def test_ckpt_gap_accounting(self):
+        core = Core(0, [])
+        core.take_snapshot(100.0)
+        core.take_snapshot(300.0)
+        assert core.stats.ckpt_gap_count == 2
+        assert core.stats.ckpt_gap_sum == 300.0
+        assert core.stats.mean_ckpt_gap == 150.0
+
+    def test_latest_safe_snapshot_requires_age(self):
+        core = Core(0, [])
+        snap = core.take_snapshot(100.0)
+        snap.complete_time = 150.0
+        # Detection at 200 with L=100: the new snapshot is too young.
+        safe = core.latest_safe_snapshot(200.0, 100.0)
+        assert safe.ckpt_id == 0        # program start
+        safe = core.latest_safe_snapshot(300.0, 100.0)
+        assert safe.ckpt_id == snap.ckpt_id
+
+    def test_incomplete_snapshot_never_safe(self):
+        core = Core(0, [])
+        core.take_snapshot(100.0)       # complete_time stays None
+        safe = core.latest_safe_snapshot(1e12, 1.0)
+        assert safe.ckpt_id == 0
+
+    def test_rollback_rewinds_and_reports_waste(self):
+        core = Core(0, [("x",)] * 10)
+        snap = core.take_snapshot(100.0)
+        snap.complete_time = 120.0
+        core.ip = 9
+        core.time = 5_000.0
+        core.instr_count = 999
+        core.blocked = "lock"
+        wasted = core.rollback_to(snap, resume_time=6_000.0)
+        assert wasted == 4_900.0
+        assert core.ip == snap.trace_ip
+        assert core.instr_count == snap.instr_count
+        assert core.blocked is None
+        assert core.time == 6_000.0
+        assert core.next_ckpt_id == snap.ckpt_id + 1
+
+    def test_rollback_prunes_newer_snapshots(self):
+        core = Core(0, [])
+        first = core.take_snapshot(100.0)
+        first.complete_time = 110.0
+        core.take_snapshot(200.0)
+        core.take_snapshot(300.0)
+        core.rollback_to(first, 400.0)
+        assert [s.ckpt_id for s in core.snapshots] == [0, 1]
+
+    def test_store_values_unique_across_rollback(self):
+        """Re-executed stores must not reuse old value tags (the golden
+        checker depends on it)."""
+        core = Core(3, [])
+        before = {core.next_store_value() for _ in range(5)}
+        snap = core.take_snapshot(10.0)
+        snap.complete_time = 10.0
+        core.rollback_to(snap, 20.0)
+        after = {core.next_store_value() for _ in range(5)}
+        assert before.isdisjoint(after)
+
+
+class TestFaultInjector:
+    def test_detection_delayed_by_latency(self):
+        injector = FaultInjector([(100.0, 2)], detection_latency=50.0)
+        assert injector.due(149.0) == []
+        events = injector.due(150.0)
+        assert len(events) == 1
+        assert events[0].pid == 2
+        assert events[0].detect_time == 150.0
+
+    def test_faults_delivered_once(self):
+        injector = FaultInjector([(10.0, 0)], detection_latency=5.0)
+        assert len(injector.due(100.0)) == 1
+        assert injector.due(200.0) == []
+        assert injector.outstanding == 0
+
+    def test_faults_sorted_by_time(self):
+        injector = FaultInjector([(300.0, 1), (100.0, 0)],
+                                 detection_latency=0.0)
+        events = injector.due(1e9)
+        assert [e.pid for e in events] == [0, 1]
+
+    def test_multiple_due_at_once(self):
+        injector = FaultInjector([(1.0, 0), (2.0, 1)],
+                                 detection_latency=10.0)
+        assert len(injector.due(20.0)) == 2

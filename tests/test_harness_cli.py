@@ -1,0 +1,25 @@
+"""Tests for the ``python -m repro.harness`` command-line entry point."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCli:
+    def test_quick_single_experiment(self, capsys):
+        code = main(["fig6_1", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 6.1" in out
+        assert "Rebound" in out
+        assert "took" in out
+
+    def test_unknown_experiment_fails(self):
+        with pytest.raises(KeyError):
+            main(["fig9_9", "--quick"])
+
+    def test_custom_scale_flags(self, capsys):
+        code = main(["fig6_1", "--quick", "--scale", "300",
+                     "--intervals", "1.5"])
+        assert code == 0
+        assert "Figure 6.1" in capsys.readouterr().out

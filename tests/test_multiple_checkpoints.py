@@ -1,0 +1,106 @@
+"""Tests for multiple-checkpoint operation (Section 4.2).
+
+A processor keeps up to n_dep_sets sets of Dep registers so it can have
+several checkpoints in flight; it stalls when it runs out, and a fault
+rolls back to the newest checkpoint that has been complete for at least
+the detection latency L.
+"""
+
+from repro.params import Scheme
+from repro.trace import COMPUTE, END, LOAD, STORE
+from tests.conftest import make_machine, tiny_config
+
+
+def chatty_trace(rounds, work=900):
+    """A trace that checkpoints every ~900 instructions."""
+    trace = []
+    for i in range(rounds):
+        trace.append((STORE, i % 8))
+        trace.append((COMPUTE, work))
+    trace.append((END,))
+    return trace
+
+
+class TestDepSetPressure:
+    def test_many_checkpoints_recycle_sets(self):
+        config = tiny_config(2, Scheme.REBOUND, checkpoint_interval=800,
+                             detection_latency=200, n_dep_sets=4)
+        machine = make_machine([chatty_trace(12)], config=config)
+        stats = machine.run()
+        assert len(stats.checkpoints) >= 8
+        file = machine.scheme.files[0]
+        assert len(file.sets) <= 4
+
+    def test_tight_latency_stalls_or_defers(self):
+        """With L comparable to the interval and only 2 sets, the core
+        must sometimes wait for a set to become recyclable."""
+        config = tiny_config(2, Scheme.REBOUND_NODWB,
+                             checkpoint_interval=500,
+                             detection_latency=5_000, n_dep_sets=2)
+        machine = make_machine([chatty_trace(12, work=450)], config=config)
+        stats = machine.run()
+        scheme = machine.scheme
+        assert scheme.depset_defers > 0
+        assert stats.cores[0].depset_stall > 0
+
+    def test_run_completes_under_pressure(self):
+        config = tiny_config(2, Scheme.REBOUND, checkpoint_interval=400,
+                             detection_latency=3_000, n_dep_sets=2)
+        machine = make_machine([chatty_trace(10, work=350)], config=config)
+        stats = machine.run()
+        assert all(c.end_time > 0 for c in stats.cores)
+
+
+class TestRollbackTargetSelection:
+    def test_fault_skips_unsafe_recent_checkpoint(self):
+        """A checkpoint younger than L at detection is not safe; the
+        rollback must unwind past it (Figure 4.1c)."""
+        config = tiny_config(2, Scheme.REBOUND_NODWB,
+                             checkpoint_interval=1_000,
+                             detection_latency=1_500, n_dep_sets=4)
+        trace = [(STORE, 1), (COMPUTE, 1_200),   # ckpt 1 ~ 1,400
+                 (STORE, 2), (COMPUTE, 1_200),   # ckpt 2 ~ 2,800
+                 (STORE, 3), (COMPUTE, 4_000),
+                 (END,)]
+        # Fault at 2,900, detected at 4,400: ckpt 2 (~2,900) is younger
+        # than L=1,500 at detection... boundary; ckpt 1 is the safe one.
+        machine = make_machine([trace], config=config,
+                               faults=[(2_900.0, 0)])
+        stats = machine.run()
+        event = stats.rollbacks[0]
+        assert event.max_depth >= 2
+
+    def test_depth_includes_draining_interval(self):
+        """With delayed writebacks a rollback can unwind one extra
+        interval whose drain was still in flight (Figure 4.1d)."""
+        config = tiny_config(2, Scheme.REBOUND, checkpoint_interval=1_000,
+                             detection_latency=800, n_dep_sets=4,
+                             dwb_drain_period=200)   # very slow drain
+        trace = [(STORE, 1), (COMPUTE, 1_200),
+                 (STORE, 2), (COMPUTE, 1_200),
+                 (STORE, 3), (COMPUTE, 4_000), (END,)]
+        machine = make_machine([trace], config=config,
+                               faults=[(2_600.0, 0)])
+        stats = machine.run()
+        assert stats.rollbacks[0].max_depth >= 2
+
+    def test_consumers_of_all_unwound_intervals_roll(self):
+        """Rolling back multiple intervals ORs their MyConsumers
+        (Section 4.2, second event)."""
+        config = tiny_config(3, Scheme.REBOUND_NODWB,
+                             checkpoint_interval=1_000,
+                             detection_latency=2_500, n_dep_sets=4)
+        traces = [
+            # P0: produces for P1 in its SECOND interval.
+            [(STORE, 1), (COMPUTE, 1_500), (STORE, 5), (COMPUTE, 1_500),
+             (COMPUTE, 6_000), (END,)],
+            # P1 consumes during P0's second interval.
+            [(COMPUTE, 1_900), (LOAD, 5), (COMPUTE, 8_500), (END,)],
+        ]
+        # Fault on P0 at 2,600 detected at 5,100: checkpoint 2 (closing
+        # the producing interval) is younger than L at detection, so the
+        # rollback unwinds interval 2 — and must drag its consumer P1.
+        machine = make_machine(traces, config=config,
+                               faults=[(2_600.0, 0)])
+        stats = machine.run()
+        assert stats.rollbacks[0].size == 2

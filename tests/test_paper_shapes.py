@@ -1,0 +1,100 @@
+"""Small-scale regression tests for the paper's qualitative results.
+
+The benchmark suite checks these shapes at full scale; these tests pin
+them at a fast 8–16 core scale so a behavioural regression is caught in
+seconds by ``pytest tests/`` rather than minutes by the benchmarks.
+"""
+
+import pytest
+
+from repro import MachineConfig, Scheme, get_workload, run_workload
+from repro.workloads import inject_output_io
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One shared set of simulations across this module's tests."""
+    cache = {}
+
+    def run(app, scheme, n_cores=16, io=False):
+        key = (app, scheme, n_cores, io)
+        if key not in cache:
+            config = MachineConfig.scaled(n_cores=n_cores, scheme=scheme,
+                                          scale=80)
+            workload = get_workload(app, n_cores, config, intervals=3)
+            if io:
+                workload = inject_output_io(
+                    workload, pid=0,
+                    every_instructions=config.checkpoint_interval // 2)
+            cache[key] = run_workload(config, workload)
+        return cache[key]
+
+    return run
+
+
+class TestFigure63Shape:
+    def test_rebound_beats_global_on_local_app(self, runs):
+        base = runs("blackscholes", Scheme.NONE)
+        glob = runs("blackscholes", Scheme.GLOBAL)
+        rebound = runs("blackscholes", Scheme.REBOUND)
+        assert rebound.overhead_vs(base) < glob.overhead_vs(base)
+
+    def test_delayed_writebacks_beat_stalling(self, runs):
+        base = runs("blackscholes", Scheme.NONE)
+        nodwb = runs("blackscholes", Scheme.REBOUND_NODWB)
+        dwb = runs("blackscholes", Scheme.REBOUND)
+        assert dwb.overhead_vs(base) < nodwb.overhead_vs(base)
+
+    def test_overheads_are_small_fractions(self, runs):
+        base = runs("blackscholes", Scheme.NONE)
+        for scheme in (Scheme.GLOBAL, Scheme.REBOUND):
+            overhead = runs("blackscholes", scheme).overhead_vs(base)
+            assert -0.01 < overhead < 0.5
+
+
+class TestFigure61Shape:
+    def test_local_app_has_small_ichk(self, runs):
+        stats = runs("blackscholes", Scheme.REBOUND)
+        assert stats.mean_ichk_fraction() <= 0.5
+
+    def test_barrier_app_has_global_ichk(self, runs):
+        stats = runs("ocean", Scheme.REBOUND)
+        assert stats.mean_ichk_fraction() > 0.85
+
+    def test_lock_app_has_global_ichk(self, runs):
+        stats = runs("raytrace", Scheme.REBOUND)
+        assert stats.mean_ichk_fraction() > 0.85
+
+
+class TestFigure65Shape:
+    def test_global_is_writeback_dominated(self, runs):
+        breakdown = runs("blackscholes", Scheme.GLOBAL).breakdown()
+        wb = breakdown["WBDelay"] + breakdown["WBImbalanceDelay"]
+        assert wb > breakdown["IPCDelay"]
+
+    def test_rebound_is_ipc_dominated(self, runs):
+        breakdown = runs("blackscholes", Scheme.REBOUND).breakdown()
+        wb = breakdown["WBDelay"] + breakdown["WBImbalanceDelay"]
+        assert breakdown["IPCDelay"] > wb
+
+
+class TestFigure67Shape:
+    def test_io_hurts_global_more_than_rebound(self, runs):
+        glob = runs("apache", Scheme.GLOBAL)
+        glob_io = runs("apache", Scheme.GLOBAL, io=True)
+        reb = runs("apache", Scheme.REBOUND)
+        reb_io = runs("apache", Scheme.REBOUND, io=True)
+        glob_ratio = (glob_io.mean_effective_ckpt_interval() /
+                      glob.mean_effective_ckpt_interval())
+        reb_ratio = (reb_io.mean_effective_ckpt_interval() /
+                     reb.mean_effective_ckpt_interval())
+        assert glob_ratio < reb_ratio
+        assert glob_ratio < 0.8
+
+
+class TestTable61Shape:
+    def test_rebound_logs_data_and_extra_messages(self, runs):
+        stats = runs("apache", Scheme.REBOUND)
+        assert stats.log_bytes > 0
+        assert stats.dep_messages > 0
+        assert stats.dep_message_percent() < 50.0

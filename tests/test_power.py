@@ -1,0 +1,68 @@
+"""Tests for the power/energy model (Chapter 5, Figures 6.6b and 6.8)."""
+
+from repro.params import MachineConfig, Scheme
+from repro.power import PowerModel, ed2, energy_of_stats
+from repro.power.model import STATIC_REBOUND_TILE_W, STATIC_TILE_W
+from repro.sim.stats import SimStats
+
+
+def stats_with(scheme, runtime=1_000_000.0, events=None, instr=10_000_000,
+               msgs=1_000, n_cores=64):
+    config = MachineConfig.scaled(n_cores=n_cores, scheme=scheme)
+    stats = SimStats(config=config, scheme=scheme, workload="x")
+    stats.runtime = runtime
+    stats.total_instructions = instr
+    stats.energy_events = events or {"l2": 100_000, "dram": 10_000}
+    stats.base_messages = msgs
+    return stats
+
+
+class TestEnergyEvaluation:
+    def test_dynamic_energy_scales_with_events(self):
+        small = energy_of_stats(stats_with(Scheme.GLOBAL,
+                                           events={"dram": 1_000}))
+        large = energy_of_stats(stats_with(Scheme.GLOBAL,
+                                           events={"dram": 100_000}))
+        assert large.dynamic_j > small.dynamic_j
+
+    def test_static_energy_scales_with_runtime(self):
+        short = energy_of_stats(stats_with(Scheme.GLOBAL, runtime=1e5))
+        long = energy_of_stats(stats_with(Scheme.GLOBAL, runtime=1e6))
+        assert long.static_j > short.static_j
+
+    def test_rebound_structures_cost_static_power(self):
+        glob = energy_of_stats(stats_with(Scheme.GLOBAL))
+        reb = energy_of_stats(stats_with(Scheme.REBOUND))
+        assert glob.rebound_static_j == 0.0
+        assert reb.rebound_static_j > 0.0
+        # Calibrated to the paper's ~1.3% structure power adder.
+        adder = STATIC_REBOUND_TILE_W / STATIC_TILE_W
+        assert 0.005 < adder < 0.03
+
+    def test_power_is_energy_over_time(self):
+        report = energy_of_stats(stats_with(Scheme.REBOUND))
+        expected = report.total_j / (report.runtime_cycles * 1e-9)
+        assert abs(report.power_w - expected) < 1e-9
+
+    def test_zero_runtime_power_is_zero(self):
+        report = energy_of_stats(stats_with(Scheme.GLOBAL, runtime=0.0))
+        assert report.power_w == 0.0
+
+    def test_ed2_penalizes_delay_quadratically(self):
+        fast = energy_of_stats(stats_with(Scheme.GLOBAL, runtime=1e5))
+        slow = energy_of_stats(stats_with(Scheme.GLOBAL, runtime=2e5))
+        # Energy grows ~2x (static) but delay doubles: ED^2 grows ~8x.
+        assert ed2(slow) > 4 * ed2(fast)
+
+    def test_by_event_breakdown_complete(self):
+        report = energy_of_stats(stats_with(Scheme.REBOUND))
+        assert "instr" in report.by_event
+        assert "msg" in report.by_event
+        assert abs(sum(report.by_event.values()) - report.dynamic_j) < 1e-12
+
+    def test_model_direct_evaluation(self):
+        config = MachineConfig.scaled(n_cores=8, scheme=Scheme.REBOUND)
+        model = PowerModel(config)
+        report = model.evaluate({"wsig": 1000, "depreg": 500}, 1e6,
+                                instructions=1_000_000, messages=100)
+        assert report.total_j > 0

@@ -1,0 +1,147 @@
+"""Tests for locks and barriers built on coherent memory accesses."""
+
+import pytest
+
+from repro.params import Scheme
+from repro.trace import BARRIER, COMPUTE, END, LOAD, LOCK, STORE, UNLOCK
+from tests.conftest import barrier_spec, lock_spec, make_machine, tiny_config
+
+
+class TestLocks:
+    def test_uncontended_acquire_release(self):
+        lock = lock_spec()
+        traces = [
+            [(LOCK, 0), (COMPUTE, 10), (UNLOCK, 0), (END,)],
+            [(COMPUTE, 5), (END,)],
+        ]
+        machine = make_machine(traces, locks=[lock],
+                               config=tiny_config(2, Scheme.NONE))
+        stats = machine.run()
+        assert stats.runtime > 0
+        assert machine.sync.lock_acquisitions == 1
+
+    def test_contended_lock_serializes(self):
+        lock = lock_spec()
+        traces = [
+            [(LOCK, 0), (COMPUTE, 500), (UNLOCK, 0), (END,)],
+            [(LOCK, 0), (COMPUTE, 500), (UNLOCK, 0), (END,)],
+        ]
+        machine = make_machine(traces, locks=[lock],
+                               config=tiny_config(2, Scheme.NONE))
+        stats = machine.run()
+        # Both critical sections must serialize: > 1000 compute cycles.
+        assert stats.runtime > 1000
+        assert machine.sync.lock_acquisitions == 2
+        # One of the two waited.
+        waits = [c.sync_wait for c in stats.cores]
+        assert max(waits) > 0
+
+    def test_lock_passing_records_dependence(self):
+        lock = lock_spec()
+        traces = [
+            [(LOCK, 0), (COMPUTE, 300), (UNLOCK, 0), (END,)],
+            [(COMPUTE, 10), (LOCK, 0), (UNLOCK, 0), (END,)],
+        ]
+        machine = make_machine(traces, locks=[lock],
+                               config=tiny_config(2, Scheme.REBOUND))
+        machine.run()
+        # The second holder read the lock word the first wrote.
+        scheme = machine.scheme
+        producers_of_1 = scheme.files[1].active.producers
+        assert producers_of_1 & 0b01
+
+    def test_unlock_by_non_holder_asserts(self):
+        lock = lock_spec()
+        traces = [[(UNLOCK, 0), (END,)]]
+        machine = make_machine(traces, locks=[lock],
+                               config=tiny_config(2, Scheme.NONE))
+        with pytest.raises(AssertionError):
+            machine.run()
+
+    def test_fifo_ordering(self):
+        lock = lock_spec()
+        traces = [
+            [(LOCK, 0), (COMPUTE, 1000), (UNLOCK, 0), (END,)],
+            [(COMPUTE, 10), (LOCK, 0), (STORE, 500), (UNLOCK, 0), (END,)],
+            [(COMPUTE, 20), (LOCK, 0), (STORE, 501), (UNLOCK, 0), (END,)],
+        ]
+        machine = make_machine(traces, locks=[lock],
+                               config=tiny_config(3, Scheme.NONE))
+        machine.run()
+        # Thread 1 queued before thread 2 and must acquire first:
+        # its store therefore commits earlier in the serialization.
+        assert machine.sync.lock_acquisitions == 3
+
+
+class TestBarriers:
+    def test_barrier_waits_for_all(self):
+        barrier = barrier_spec(3)
+        traces = [
+            [(COMPUTE, 10), (BARRIER, 0), (END,)],
+            [(COMPUTE, 2000), (BARRIER, 0), (END,)],
+            [(COMPUTE, 50), (BARRIER, 0), (END,)],
+        ]
+        machine = make_machine(traces, barriers=[barrier],
+                               config=tiny_config(3, Scheme.NONE))
+        stats = machine.run()
+        # Everyone leaves after the slowest arrival.
+        ends = [c.end_time for c in stats.cores]
+        assert min(ends) > 2000
+        # Early arrivers accumulated spin time.
+        assert stats.cores[0].sync_wait > stats.cores[1].sync_wait
+
+    def test_barrier_reusable_across_generations(self):
+        barrier = barrier_spec(2)
+        traces = [
+            [(BARRIER, 0), (COMPUTE, 10), (BARRIER, 0), (END,)],
+            [(BARRIER, 0), (COMPUTE, 90), (BARRIER, 0), (END,)],
+        ]
+        machine = make_machine(traces, barriers=[barrier],
+                               config=tiny_config(2, Scheme.NONE))
+        machine.run()
+        assert machine.sync.barriers[0].gen == 2
+        assert machine.sync.barrier_episodes == 2
+
+    def test_barrier_chains_dependences_to_all(self):
+        """After a barrier everyone depends on the flag writer
+        (Figure 4.2b): a checkpoint right after is effectively global."""
+        barrier = barrier_spec(3)
+        traces = [
+            [(COMPUTE, 10 + 30 * i), (BARRIER, 0), (COMPUTE, 5), (END,)]
+            for i in range(3)
+        ]
+        machine = make_machine(traces, barriers=[barrier],
+                               config=tiny_config(3, Scheme.REBOUND))
+        machine.run()
+        scheme = machine.scheme
+        # The last arriver wrote the flag; the others consumed it.
+        flag_deps = sum(
+            1 for pid in range(3)
+            if scheme.files[pid].active.producers)
+        assert flag_deps >= 2
+
+    def test_barrier_crossings_counted(self):
+        barrier = barrier_spec(2)
+        traces = [
+            [(BARRIER, 0), (BARRIER, 0), (END,)],
+            [(BARRIER, 0), (BARRIER, 0), (END,)],
+        ]
+        machine = make_machine(traces, barriers=[barrier],
+                               config=tiny_config(2, Scheme.NONE))
+        machine.run()
+        for core in machine.cores:
+            assert core.barrier_crossings[0] == 2
+
+
+class TestDeadlockDiagnostics:
+    def test_missing_participant_reports_deadlock(self):
+        from repro.sim.machine import SimulationDeadlock
+        barrier = barrier_spec(2)
+        traces = [
+            [(BARRIER, 0), (END,)],
+            [(END,)],                       # never arrives
+        ]
+        machine = make_machine(traces, barriers=[barrier],
+                               config=tiny_config(2, Scheme.NONE))
+        with pytest.raises(SimulationDeadlock):
+            machine.run()

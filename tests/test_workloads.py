@@ -1,0 +1,180 @@
+"""Tests for the synthetic workload generators (Figure 4.3b substitutes)."""
+
+import pytest
+
+from repro.params import MachineConfig, Scheme
+from repro.trace import (
+    BARRIER,
+    COMPUTE,
+    LOAD,
+    LOCK,
+    OUTPUT,
+    STORE,
+    UNLOCK,
+    trace_instruction_count,
+)
+from repro.workloads import (
+    ALL_APPS,
+    BARRIER_INTENSIVE,
+    LOW_ICHK,
+    PARSEC_APACHE,
+    SPLASH2,
+    get_profile,
+    get_workload,
+    inject_output_io,
+    list_workloads,
+)
+
+
+def small_config(**over):
+    return MachineConfig.scaled(n_cores=8, scheme=Scheme.NONE, scale=200,
+                                **over)
+
+
+class TestRegistry:
+    def test_all_18_applications_present(self):
+        assert len(list_workloads()) == 18
+        assert len(SPLASH2) == 13
+        assert len(PARSEC_APACHE) == 5
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            get_profile("doom")
+
+    def test_suite_tags(self):
+        assert get_profile("ocean").suite == "splash2"
+        assert get_profile("ferret").suite == "parsec"
+        assert get_profile("apache").suite == "server"
+
+    def test_ocean_barrier_rate_matches_paper(self):
+        # Section 6.1: Ocean has a barrier every ~50k instructions.
+        assert get_profile("ocean").barrier_every == 50_000
+
+    def test_barrier_intensive_subset(self):
+        assert "ocean" in BARRIER_INTENSIVE
+        assert "raytrace" not in BARRIER_INTENSIVE  # lock-bound, no barriers
+
+    def test_low_ichk_subset(self):
+        assert set(LOW_ICHK) <= set(ALL_APPS)
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        config = small_config()
+        a = get_workload("barnes", 4, config, intervals=1, seed=7)
+        b = get_workload("barnes", 4, config, intervals=1, seed=7)
+        assert a.traces == b.traces
+
+    def test_seed_changes_traces(self):
+        config = small_config()
+        a = get_workload("barnes", 4, config, intervals=1, seed=7)
+        b = get_workload("barnes", 4, config, intervals=1, seed=8)
+        assert a.traces != b.traces
+
+    def test_instruction_budget_respected(self):
+        config = small_config()
+        spec = get_workload("fmm", 4, config, intervals=2)
+        target = 2 * config.checkpoint_interval
+        for trace in spec.traces:
+            count = trace_instruction_count(trace)
+            # jitter + final block overshoot are bounded
+            assert target * 0.9 <= count <= target * 1.8
+
+    def test_barrier_counts_equal_across_threads(self):
+        config = small_config()
+        spec = get_workload("ocean", 6, config, intervals=2)
+        counts = [sum(1 for r in t if r[0] == BARRIER)
+                  for t in spec.traces]
+        assert len(set(counts)) == 1
+        assert counts[0] >= 1
+        assert spec.barriers and spec.barriers[0].participants == \
+            list(range(6))
+
+    def test_lock_sections_well_formed(self):
+        config = small_config()
+        spec = get_workload("raytrace", 4, config, intervals=1)
+        for trace in spec.traces:
+            depth = 0
+            for record in trace:
+                if record[0] == LOCK:
+                    depth += 1
+                    assert depth == 1  # no nesting in generated code
+                elif record[0] == UNLOCK:
+                    depth -= 1
+                    assert depth == 0
+            assert depth == 0
+
+    def test_lockless_profiles_have_no_locks(self):
+        config = small_config()
+        spec = get_workload("blackscholes", 4, config, intervals=1)
+        assert spec.locks == []
+        for trace in spec.traces:
+            assert all(r[0] not in (LOCK, UNLOCK) for r in trace)
+
+    def test_shared_reads_target_cluster_peers(self):
+        config = small_config()
+        from repro.workloads.synthetic import SyntheticWorkload
+        workload = SyntheticWorkload(get_profile("blackscholes"), 8,
+                                     config.checkpoint_interval, 1.0, 3)
+        spec = workload.build()
+        region_of = {}
+        for tid in range(8):
+            for line in workload.shared_regions[tid]:
+                region_of[line] = tid
+        for tid, trace in enumerate(spec.traces):
+            cluster = set(workload.cluster_of(tid))
+            for record in trace:
+                if record[0] == LOAD and record[1] in region_of:
+                    assert region_of[record[1]] in cluster
+
+    def test_runs_on_machine(self):
+        config = small_config()
+        spec = get_workload("water_sp", 4, config, intervals=1)
+        from repro.sim.machine import Machine
+        stats = Machine(config, spec).run()
+        assert stats.runtime > 0
+        assert stats.total_instructions > 0
+
+
+class TestIoInjection:
+    def test_output_records_inserted_on_schedule(self):
+        config = small_config()
+        spec = get_workload("blackscholes", 4, config, intervals=2)
+        injected = inject_output_io(spec, pid=0, every_instructions=5_000)
+        outputs = sum(1 for r in injected.traces[0] if r[0] == OUTPUT)
+        expected = trace_instruction_count(spec.traces[0]) // 5_000
+        assert outputs >= max(1, expected - 1)
+        # Other threads untouched.
+        assert injected.traces[1] == spec.traces[1]
+
+    def test_injection_preserves_instruction_order(self):
+        config = small_config()
+        spec = get_workload("apache", 4, config, intervals=1)
+        injected = inject_output_io(spec, pid=0, every_instructions=2_000)
+        original = [r for r in injected.traces[0] if r[0] != OUTPUT]
+        # COMPUTE records may be split, but total work is identical.
+        assert trace_instruction_count(original) == \
+            trace_instruction_count(spec.traces[0])
+
+    def test_bad_pid_rejected(self):
+        config = small_config()
+        spec = get_workload("apache", 4, config, intervals=1)
+        with pytest.raises(ValueError):
+            inject_output_io(spec, pid=99)
+
+
+class TestFootprintScaling:
+    def test_footprints_shrink_with_interval(self):
+        from repro.workloads.synthetic import SyntheticWorkload
+        profile = get_profile("ocean")
+        big = SyntheticWorkload(profile, 4, 1_000_000, 1.0, 1)
+        small = SyntheticWorkload(profile, 4, 20_000, 1.0, 1)
+        assert small.private_lines < big.private_lines
+
+    def test_relative_footprints_preserve_table_order(self):
+        # Ocean must stay the largest log producer, Water-Sp the smallest
+        # (Table 6.1 ordering).
+        ocean = get_profile("ocean")
+        water = get_profile("water_sp")
+        assert ocean.private_lines * ocean.write_frac > \
+            5 * water.private_lines * water.write_frac
