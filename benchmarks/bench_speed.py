@@ -1,0 +1,95 @@
+"""Kernel micro-benchmark: raw serial ``Machine.run()`` throughput.
+
+Times a fixed (app, cores, scheme) matrix — the same matrix regardless
+of ``REPRO_BENCH_FAST`` so numbers stay comparable across sessions —
+and writes ``BENCH_speed.json`` at the repo root so the performance
+trajectory of the simulation hot path is tracked from PR to PR.
+
+This deliberately bypasses the runner/engine caches: it measures the
+simulator kernel itself, not the harness.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.params import MachineConfig, Scheme
+from repro.sim.machine import Machine
+from repro.workloads import get_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_speed.json"
+
+#: Fixed matrix: a cheap-scheme baseline, the two main scheme families,
+#: a barrier-heavy app and a PARSEC app (coherence-traffic heavy).
+MATRIX = (
+    ("blackscholes", 16, Scheme.REBOUND),
+    ("ocean", 16, Scheme.GLOBAL),
+    ("water_sp", 8, Scheme.NONE),
+    ("barnes", 8, Scheme.REBOUND_BARR),
+    ("streamcluster", 8, Scheme.REBOUND),
+)
+SCALE = 40
+INTERVALS = 2.0
+REPEATS = 3  # wall-clock is min-of-N to shrug off machine noise
+
+
+def _run_once(app: str, n_cores: int, scheme: Scheme):
+    config = MachineConfig.scaled(n_cores=n_cores, scheme=scheme,
+                                  scale=SCALE)
+    workload = get_workload(app, n_cores, config, intervals=INTERVALS,
+                            seed=1)
+    machine = Machine(config, workload)
+    start = time.perf_counter()
+    stats = machine.run()
+    return stats, time.perf_counter() - start
+
+
+def test_kernel_speed():
+    results = []
+    total_wall = 0.0
+    total_cycles = 0.0
+    total_instr = 0
+    for app, n_cores, scheme in MATRIX:
+        wall = float("inf")
+        stats = None
+        for _ in range(REPEATS):
+            stats, elapsed = _run_once(app, n_cores, scheme)
+            wall = min(wall, elapsed)
+        assert stats.runtime > 0
+        results.append({
+            "app": app,
+            "n_cores": n_cores,
+            "scheme": scheme.value,
+            "wall_s": round(wall, 4),
+            "sim_cycles": stats.runtime,
+            "instructions": stats.total_instructions,
+            "sim_cycles_per_s": round(stats.runtime / wall),
+            "instr_per_s": round(stats.total_instructions / wall),
+        })
+        total_wall += wall
+        total_cycles += stats.runtime
+        total_instr += stats.total_instructions
+    payload = {
+        "schema": 1,
+        "scale": SCALE,
+        "intervals": INTERVALS,
+        "repeats": REPEATS,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "results": results,
+        "total_wall_s": round(total_wall, 4),
+        "aggregate_sim_cycles_per_s": round(total_cycles / total_wall),
+        "aggregate_instr_per_s": round(total_instr / total_wall),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"kernel speed: {payload['aggregate_sim_cycles_per_s']:,} "
+          f"simulated cycles/s, {payload['aggregate_instr_per_s']:,} "
+          f"instr/s over {total_wall:.2f}s wall "
+          f"({len(results)} configurations)")
+    for row in results:
+        print(f"  {row['app']:14s} x{row['n_cores']:<3d} "
+              f"{row['scheme']:14s} {row['wall_s']:7.3f}s  "
+              f"{row['sim_cycles_per_s']:>12,} simcyc/s")

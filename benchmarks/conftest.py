@@ -2,15 +2,26 @@
 
 One :class:`~repro.harness.runner.Runner` is shared across every
 benchmark in the session so figures that need the same simulations (e.g.
-the Figure 6.3 runs reused by Figures 6.5/6.6) pay for them once.
+the Figure 6.3 runs reused by Figures 6.5/6.6) pay for them once.  The
+runner sits on the :class:`~repro.harness.engine.ExperimentEngine`, so
+the drivers' planned run sets execute in parallel across processes and
+every completed result persists in the on-disk cache — a second
+benchmark session with the same knobs replays from disk.
 
-Environment knobs::
+Environment knobs (workload shape — these feed the ``RunKey``, so
+changing any of them addresses a different set of cache entries)::
 
     REPRO_BENCH_CORES_SPLASH   processor count for SPLASH-2 (default 64)
     REPRO_BENCH_CORES_PARSEC   processor count for PARSEC/Apache (24)
     REPRO_BENCH_SCALE          config down-scale factor (default 40)
     REPRO_BENCH_INTERVALS      run length in checkpoint intervals (2.0)
     REPRO_BENCH_FAST           set to 1 for a quick subset of apps
+
+Engine knobs (execution only — never change the results)::
+
+    REPRO_JOBS                 worker processes (default: CPU count)
+    REPRO_CACHE_DIR            result cache dir (default benchmarks/.cache)
+    REPRO_NO_CACHE             set to 1 to bypass the disk cache
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.harness.engine import ExperimentEngine
 from repro.harness.runner import Runner
 from repro.workloads import (
     ALL_APPS,
@@ -68,7 +80,9 @@ def params() -> BenchParams:
 
 @pytest.fixture(scope="session")
 def runner(params: BenchParams) -> Runner:
-    return Runner(scale=params.scale, intervals=params.intervals)
+    # Jobs / cache dir / cache bypass resolve from the REPRO_* knobs.
+    return Runner(scale=params.scale, intervals=params.intervals,
+                  engine=ExperimentEngine())
 
 
 def publish(result) -> None:

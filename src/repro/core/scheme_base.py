@@ -42,8 +42,21 @@ class BaseScheme(DependenceTracker):
         """Called once the machine is fully constructed."""
 
     # -- policy hooks (overridden by concrete schemes) -----------------------
+    def post_op_gate(self) -> float:
+        """Minimum ``core.instr_since_ckpt`` at which ``post_op`` can
+        act; the machine's hot loop skips the call below it.  The
+        default matches both built-in schemes' first-line guard.  A
+        scheme whose ``post_op`` must act earlier (adaptive intervals,
+        pressure-triggered checkpoints, ...) overrides this — return 0
+        to be called after every record."""
+        return self.config.checkpoint_interval
+
     def post_op(self, core: "Core", now: float) -> None:
-        """Called after every trace record; decides checkpoint initiation."""
+        """Called after a trace record; decides checkpoint initiation.
+
+        Only invoked once ``core.instr_since_ckpt`` reaches
+        :meth:`post_op_gate`; override that alongside this when acting
+        below a full checkpoint interval."""
 
     def on_output(self, core: "Core", now: float) -> Optional[float]:
         """Checkpoint before output I/O; returns commit time or None to

@@ -24,11 +24,21 @@ def _mix(value: int, salt: int) -> int:
     return x ^ (x >> 31)
 
 
+#: addr -> OR-mask of its hash positions, shared by every signature with
+#: the same geometry (addresses are cache-line numbers, so the working
+#: set is small and revisited constantly by all cores).  Bounded so a
+#: long-lived process running many workloads doesn't accumulate every
+#: app's address space forever; on overflow the dict is cleared and
+#: simply recomputes (it is a pure cache).
+_MASK_CACHES: dict[tuple[int, int], dict[int, int]] = {}
+_MASK_CACHE_LIMIT = 1 << 17
+
+
 class WriteSignature:
     """Bloom-filter write signature with an exact shadow for statistics."""
 
     __slots__ = ("n_bits", "n_hashes", "bits", "exact", "tests",
-                 "false_positives")
+                 "false_positives", "_masks")
 
     def __init__(self, n_bits: int = 1024, n_hashes: int = 4):
         if n_bits <= 0 or n_bits & (n_bits - 1):
@@ -39,15 +49,27 @@ class WriteSignature:
         self.exact: set[int] = set()
         self.tests = 0
         self.false_positives = 0
+        self._masks = _MASK_CACHES.setdefault((n_bits, n_hashes), {})
 
     def _positions(self, addr: int):
         mask = self.n_bits - 1
         for salt in range(self.n_hashes):
             yield _mix(addr, salt + 1) & mask
 
+    def _mask(self, addr: int) -> int:
+        """The address's n_hashes set bits, folded into one integer."""
+        mask = self._masks.get(addr)
+        if mask is None:
+            mask = 0
+            for pos in self._positions(addr):
+                mask |= 1 << pos
+            if len(self._masks) >= _MASK_CACHE_LIMIT:
+                self._masks.clear()
+            self._masks[addr] = mask
+        return mask
+
     def add(self, addr: int) -> None:
-        for pos in self._positions(addr):
-            self.bits |= 1 << pos
+        self.bits |= self._mask(addr)
         self.exact.add(addr)
 
     def test(self, addr: int) -> tuple[bool, bool]:
@@ -59,7 +81,8 @@ class WriteSignature:
         negatives, asserted by the property tests).
         """
         self.tests += 1
-        claims = all(self.bits >> pos & 1 for pos in self._positions(addr))
+        mask = self._mask(addr)
+        claims = self.bits & mask == mask
         genuine = addr in self.exact
         if claims and not genuine:
             self.false_positives += 1
@@ -79,10 +102,11 @@ class WriteSignature:
     @property
     def occupancy(self) -> float:
         """Fraction of bits set (drives the false-positive rate)."""
-        return bin(self.bits).count("1") / self.n_bits
+        return self.bits.bit_count() / self.n_bits
 
     def __contains__(self, addr: int) -> bool:
-        return all(self.bits >> pos & 1 for pos in self._positions(addr))
+        mask = self._mask(addr)
+        return self.bits & mask == mask
 
     def __len__(self) -> int:
         return len(self.exact)

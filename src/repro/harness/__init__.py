@@ -1,7 +1,9 @@
 """Experiment harness: regenerates every figure/table of Chapter 6."""
 
+from repro.harness.engine import ExperimentEngine, RunKey, execute_run
 from repro.harness.experiments import (
     ALL_EXPERIMENTS,
+    ALL_PLANS,
     ExperimentResult,
     fig6_1_ichk_parsec,
     fig6_2_ichk_splash,
@@ -11,18 +13,23 @@ from repro.harness.experiments import (
     fig6_6_scalability,
     fig6_7_io,
     fig6_8_power,
+    plan_experiment,
     run_experiment,
     table6_1_characterization,
 )
 from repro.harness.report import format_bars, format_table, percent
-from repro.harness.runner import Runner, RunKey
+from repro.harness.runner import Runner
 
 __all__ = [
     "Runner",
     "RunKey",
+    "ExperimentEngine",
+    "execute_run",
     "ExperimentResult",
     "run_experiment",
+    "plan_experiment",
     "ALL_EXPERIMENTS",
+    "ALL_PLANS",
     "fig6_1_ichk_parsec",
     "fig6_2_ichk_splash",
     "fig6_3_overhead",

@@ -1,0 +1,278 @@
+"""Experiment execution engine: planned, parallel, disk-cached runs.
+
+Every figure of the evaluation chapter is a set of independent
+simulations identified by a :class:`RunKey`.  The engine lets the
+experiment drivers *plan* those key sets up front, deduplicates them
+(many figures share runs, e.g. an app's no-checkpointing baseline),
+executes the unique missing runs concurrently on a
+``ProcessPoolExecutor``, and persists every completed :class:`SimStats`
+to an on-disk cache so later sessions and CI replay results instead of
+recomputing them.
+
+Cache invalidation: each entry's file name hashes the :class:`RunKey`
+together with a *code fingerprint* — a SHA-256 over every ``*.py`` file
+of the ``repro`` package — so any change to the simulator silently
+invalidates all previous results.  Stale files are never read; delete
+the cache directory to reclaim the space.
+
+Knobs (CLI flags on ``python -m repro.harness`` map onto the same
+settings)::
+
+    REPRO_JOBS        worker processes (default: os.cpu_count())
+    REPRO_CACHE_DIR   result cache location (default: benchmarks/.cache)
+    REPRO_NO_CACHE    set to 1 to bypass the disk cache entirely
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.params import MachineConfig, Scheme
+from repro.sim import SimStats
+from repro.sim.machine import Machine
+from repro.workloads import get_workload, inject_output_io
+
+#: Bump when the pickled payload layout changes incompatibly.
+CACHE_FORMAT = 1
+
+_PACKAGE_DIR = Path(__file__).resolve().parents[1]
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Identity of one simulation (also the memoization/cache key)."""
+
+    app: str
+    n_cores: int
+    scheme: Scheme
+    intervals: float
+    seed: int
+    scale: int
+    io_every: Optional[int] = None       # output-I/O injection period
+    fault_at: Optional[float] = None     # (cycle, core-0) fault injection
+
+
+def execute_run(key: RunKey) -> SimStats:
+    """Build and run the simulation ``key`` describes (pure function)."""
+    config = MachineConfig.scaled(n_cores=key.n_cores, scheme=key.scheme,
+                                  scale=key.scale)
+    workload = get_workload(key.app, key.n_cores, config,
+                            intervals=key.intervals, seed=key.seed)
+    if key.io_every is not None:
+        workload = inject_output_io(spec=workload, pid=0,
+                                    every_instructions=key.io_every)
+    faults = [(key.fault_at, 0)] if key.fault_at is not None else None
+    return Machine(config, workload, faults=faults).run()
+
+
+def _timed_run(key: RunKey) -> tuple[SimStats, float]:
+    """Worker entry point: run ``key`` and report its wall-clock cost."""
+    start = time.perf_counter()
+    stats = execute_run(key)
+    return stats, time.perf_counter() - start
+
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the ``repro`` package sources (cache invalidation)."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        digest = hashlib.sha256(f"format:{CACHE_FORMAT}".encode())
+        for path in sorted(_PACKAGE_DIR.rglob("*.py")):
+            digest.update(str(path.relative_to(_PACKAGE_DIR)).encode())
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` or the machine's CPU count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` or ``benchmarks/.cache`` under the repo root.
+
+    The repo-root derivation only holds for a src-layout checkout; for
+    an installed package (no ``benchmarks/`` next to ``src/``) fall
+    back to a dot-directory under the working directory instead of
+    writing into the Python environment.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    if (_REPO_ROOT / "benchmarks").is_dir():
+        return _REPO_ROOT / "benchmarks" / ".cache"
+    return Path.cwd() / ".repro-cache"
+
+
+class ExperimentEngine:
+    """Plans, deduplicates, parallelizes and caches simulation runs.
+
+    The in-memory memo guarantees object identity within a process (two
+    requests for the same key return the *same* ``SimStats``); the disk
+    cache makes repeated sessions near-instant.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache_dir: Optional[os.PathLike] = None,
+                 use_disk_cache: Optional[bool] = None,
+                 verbose: bool = False):
+        self.jobs = max(1, jobs if jobs is not None else default_jobs())
+        self.cache_dir = Path(cache_dir) if cache_dir is not None \
+            else default_cache_dir()
+        if use_disk_cache is None:
+            use_disk_cache = os.environ.get("REPRO_NO_CACHE", "0") != "1"
+        self.use_disk_cache = use_disk_cache
+        self.verbose = verbose
+        self.memo: dict[RunKey, SimStats] = {}
+        #: Wall-clock seconds per key *computed* this session (not cached).
+        self.profile: dict[RunKey, float] = {}
+        self.disk_hits = 0
+        self._store_warned = False
+
+    # ------------------------------------------------------------------
+    # disk cache
+    # ------------------------------------------------------------------
+    def _cache_path(self, key: RunKey) -> Path:
+        ident = f"{code_fingerprint()}|{key!r}"
+        digest = hashlib.sha256(ident.encode()).hexdigest()
+        return self.cache_dir / f"{digest}.pkl"
+
+    def _load_cached(self, key: RunKey) -> Optional[SimStats]:
+        if not self.use_disk_cache:
+            return None
+        path = self._cache_path(key)
+        try:
+            with path.open("rb") as fh:
+                stats = pickle.load(fh)
+        except Exception:
+            # Best-effort cache: any unreadable/corrupt entry (truncated
+            # write, garbled restore, unpicklable payload) is a miss,
+            # never a crash.
+            return None
+        if not isinstance(stats, SimStats):
+            return None
+        self.disk_hits += 1
+        return stats
+
+    def _store_cached(self, key: RunKey, stats: SimStats) -> None:
+        if not self.use_disk_cache:
+            return
+        path = self._cache_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("wb") as fh:
+                pickle.dump(stats, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic vs. concurrent CI shards
+        except OSError as exc:
+            # Best-effort cache, but say so once: a typo'd --cache-dir
+            # otherwise looks identical to a working one.
+            if not self._store_warned:
+                self._store_warned = True
+                print(f"  [engine] warning: result cache disabled "
+                      f"({self.cache_dir}: {exc})", flush=True)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, key: RunKey) -> SimStats:
+        """Run (or recall) one simulation."""
+        return self.run_many([key])[key]
+
+    def prefetch(self, keys: Iterable[RunKey]) -> None:
+        """Ensure every ``key`` is available (the planning entry point)."""
+        self.run_many(keys)
+
+    def run_many(self, keys: Iterable[RunKey]) -> dict[RunKey, SimStats]:
+        """Deduplicate ``keys``, execute the missing ones, return all."""
+        unique = list(dict.fromkeys(keys))
+        missing = []
+        for key in unique:
+            if key in self.memo:
+                continue
+            cached = self._load_cached(key)
+            if cached is not None:
+                self.memo[key] = cached
+            else:
+                missing.append(key)
+        if len(missing) > 1 and self.jobs > 1:
+            self._run_parallel(missing)
+        else:
+            for key in missing:
+                self._announce(key)
+                stats, seconds = _timed_run(key)
+                self._finish(key, stats, seconds)
+        return {key: self.memo[key] for key in unique}
+
+    def _run_parallel(self, missing: list[RunKey]) -> None:
+        workers = min(self.jobs, len(missing))
+        if self.verbose:  # pragma: no cover - progress printing
+            print(f"  [engine] {len(missing)} runs on {workers} workers "
+                  f"...", flush=True)
+        failure: Optional[tuple[RunKey, BaseException]] = None
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_timed_run, key): key for key in missing}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = futures[future]
+                    try:
+                        stats, seconds = future.result()
+                    except BaseException as exc:  # noqa: BLE001
+                        # Keep draining so completed siblings still land
+                        # in the cache; report the failing key (worker
+                        # tracebacks don't carry argument values).
+                        if failure is None:
+                            failure = (key, exc)
+                        continue
+                    self._finish(key, stats, seconds)
+        if failure is not None:
+            key, exc = failure
+            raise RuntimeError(
+                f"simulation failed for {key.app} x{key.n_cores} "
+                f"{key.scheme.value} (io_every={key.io_every}, "
+                f"fault_at={key.fault_at}, scale={key.scale})") from exc
+
+    def _announce(self, key: RunKey) -> None:
+        if self.verbose:  # pragma: no cover - progress printing
+            print(f"  running {key.app} x{key.n_cores} "
+                  f"{key.scheme.value} ...", flush=True)
+
+    def _finish(self, key: RunKey, stats: SimStats, seconds: float) -> None:
+        self.memo[key] = stats
+        self.profile[key] = seconds
+        self._store_cached(key, stats)
+        if self.verbose and self.jobs > 1:  # pragma: no cover
+            print(f"  [engine] done {key.app} x{key.n_cores} "
+                  f"{key.scheme.value} ({seconds:.1f}s)", flush=True)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def profile_rows(self) -> list[list]:
+        """Per-run wall-clock rows (slowest first) for ``--profile``."""
+        rows = []
+        for key, seconds in sorted(self.profile.items(),
+                                   key=lambda kv: -kv[1]):
+            rows.append([key.app, key.n_cores, key.scheme.value,
+                         key.io_every if key.io_every is not None else "-",
+                         f"{key.fault_at:,.0f}" if key.fault_at is not None
+                         else "-",
+                         f"{seconds:.2f}"])
+        return rows

@@ -5,6 +5,14 @@ Each driver runs the simulations it needs (through the caching
 can render itself as the rows/series the paper's figure plots, plus the
 paper-vs-measured line EXPERIMENTS.md records.
 
+Every driver also has a *planner* (``ALL_PLANS``) that enumerates the
+exact :class:`~repro.harness.engine.RunKey` set the driver will request,
+without running anything.  Drivers prefetch their own plan on entry (so
+a single figure parallelizes by itself), and ``python -m repro.harness``
+unions the plans of every requested experiment up front, deduplicating
+shared runs across figures before handing them to the engine's process
+pool in one batch.
+
 Paper reference points (what the *shape* checks compare against):
 
 * Fig 6.1 — mean ICHK ≈ 40% of 24 processors for PARSEC+Apache;
@@ -34,9 +42,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from statistics import mean
 
+from repro.harness.engine import RunKey
 from repro.harness.report import format_bars, format_table
 from repro.harness.runner import Runner
-from repro.params import LOG_ENTRY_BYTES, Scheme
+from repro.params import LOG_ENTRY_BYTES, MachineConfig, Scheme
 from repro.power import ed2, energy_of_stats
 from repro.workloads import (
     ALL_APPS,
@@ -80,6 +89,7 @@ def fig6_1_ichk_parsec(runner: Runner, n_cores: int = 24,
                        apps: list[str] | None = None) -> ExperimentResult:
     """Average ICHK size, PARSEC + Apache (Figure 6.1)."""
     apps = apps if apps is not None else PARSEC_APACHE
+    runner.prefetch(plan_fig6_1(runner, n_cores, apps))
     rows = []
     fractions = []
     for app in apps:
@@ -100,6 +110,7 @@ def fig6_2_ichk_splash(runner: Runner, sizes: tuple[int, ...] = (32, 64),
                        apps: list[str] | None = None) -> ExperimentResult:
     """Average ICHK size, SPLASH-2 at 32 and 64 processors (Figure 6.2)."""
     apps = apps if apps is not None else SPLASH2
+    runner.prefetch(plan_fig6_2(runner, sizes, apps))
     rows = []
     averages = {n: [] for n in sizes}
     for app in apps:
@@ -129,6 +140,7 @@ def fig6_3_overhead(runner: Runner, apps: list[str] | None = None,
                     suite: str = "SPLASH-2") -> ExperimentResult:
     """Checkpointing overhead during error-free execution (Figure 6.3)."""
     apps = apps if apps is not None else SPLASH2
+    runner.prefetch(plan_fig6_3(runner, apps, n_cores))
     rows = []
     sums = {scheme: [] for scheme in OVERHEAD_SCHEMES}
     for app in apps:
@@ -157,6 +169,7 @@ def fig6_4_barrier(runner: Runner, apps: list[str] | None = None,
                    n_cores: int = 64) -> ExperimentResult:
     """Impact of the Barrier optimization (Figure 6.4)."""
     apps = apps if apps is not None else BARRIER_INTENSIVE
+    runner.prefetch(plan_fig6_4(runner, apps, n_cores))
     rows = []
     sums = {scheme: [] for scheme in BARRIER_SCHEMES}
     for app in apps:
@@ -191,6 +204,7 @@ def fig6_5_breakdown(runner: Runner, apps: list[str] | None = None,
                      parsec_cores: int = 24) -> ExperimentResult:
     """Checkpoint-overhead breakdown, normalized to Global (Figure 6.5)."""
     apps = apps if apps is not None else ALL_APPS
+    runner.prefetch(plan_fig6_5(runner, apps, splash_cores, parsec_cores))
     rows = []
     for app in apps:
         n_cores = splash_cores if app in SPLASH2 else parsec_cores
@@ -225,6 +239,7 @@ def fig6_6_scalability(runner: Runner, apps: list[str] | None = None,
                        ) -> ExperimentResult:
     """Overhead / energy increase / recovery latency vs. cores (Fig 6.6)."""
     apps = apps if apps is not None else SPLASH2
+    runner.prefetch(plan_fig6_6(runner, apps, sizes))
     # Fault-injection runs cannot reuse cached simulations, so recovery
     # latency averages a representative subset (noted in EXPERIMENTS.md).
     recovery_apps = apps[:5]
@@ -266,9 +281,7 @@ def _recovery_latency(runner: Runner, app: str, n_cores: int,
     inject on core 0 late in the second interval (cycles ~ instructions
     for these 1-IPC cores) so at least one checkpoint is safe.
     """
-    config_interval = runner.run(app, n_cores,
-                                 Scheme.NONE).config.checkpoint_interval
-    fault_at = 2.6 * config_interval
+    fault_at = _recovery_fault_at(runner, n_cores)
     stats = runner.run(app, n_cores, scheme, fault_at=fault_at)
     return stats.mean_recovery_latency()
 
@@ -286,12 +299,11 @@ def fig6_7_io(runner: Runner, apps: list[str] | None = None,
     effective checkpoint interval, relative to the configured one.
     """
     apps = apps if apps is not None else LOW_ICHK
+    runner.prefetch(plan_fig6_7(runner, apps, n_cores))
+    io_every = _io_every(runner, n_cores)
     rows = []
     ratios = {Scheme.GLOBAL: [], Scheme.REBOUND: []}
     for app in apps:
-        interval = runner.run(app, n_cores,
-                              Scheme.NONE).config.checkpoint_interval
-        io_every = interval // 2
         row = [app]
         for scheme in (Scheme.GLOBAL, Scheme.REBOUND):
             stats = runner.run(app, n_cores, scheme, io_every=io_every)
@@ -324,6 +336,7 @@ def fig6_8_power(runner: Runner, apps: list[str] | None = None,
                  n_cores: int = 64) -> ExperimentResult:
     """Estimated on-chip power, SPLASH-2 average (Figure 6.8)."""
     apps = apps if apps is not None else SPLASH2
+    runner.prefetch(plan_fig6_8(runner, apps, n_cores))
     rows = []
     powers = {}
     ed2s = {}
@@ -362,6 +375,7 @@ def table6_1_characterization(runner: Runner,
                               parsec_cores: int = 24) -> ExperimentResult:
     """WSIG false positives, log size, extra messages (Table 6.1)."""
     apps = apps if apps is not None else ALL_APPS
+    runner.prefetch(plan_table6_1(runner, apps, splash_cores, parsec_cores))
     rows = []
     fp_incs, log_mbs, msg_incs = [], [], []
     for app in apps:
@@ -388,6 +402,139 @@ def table6_1_characterization(runner: Runner,
         rows,
         notes="paper: FP increase 2.0% avg; log 7.2 MB avg; extra "
               "messages 4.2% avg")
+
+
+# ---------------------------------------------------------------------------
+# planners: the RunKey set each driver will request, computed up front
+# ---------------------------------------------------------------------------
+
+def _configured_interval(runner: Runner, n_cores: int) -> int:
+    """The checkpoint interval a run at this scale will be configured
+    with — derivable without simulating (it depends only on the scale),
+    so planners can enumerate I/O- and fault-parameterized keys."""
+    return MachineConfig.scaled(n_cores=n_cores, scheme=Scheme.NONE,
+                                scale=runner.scale).checkpoint_interval
+
+
+def _recovery_fault_at(runner: Runner, n_cores: int) -> float:
+    """Fault-injection time of the Fig 6.6 recovery runs: late in the
+    second interval (shared by the driver and its planner, so the
+    planned keys are exactly the keys the driver requests)."""
+    return 2.6 * _configured_interval(runner, n_cores)
+
+
+def _io_every(runner: Runner, n_cores: int) -> int:
+    """Fig 6.7's output-I/O period: half the configured interval
+    (shared by the driver and its planner)."""
+    return _configured_interval(runner, n_cores) // 2
+
+
+def plan_fig6_1(runner: Runner, n_cores: int = 24,
+                apps: list[str] | None = None) -> list[RunKey]:
+    apps = apps if apps is not None else PARSEC_APACHE
+    return [runner.key(app, n_cores, Scheme.REBOUND) for app in apps]
+
+
+def plan_fig6_2(runner: Runner, sizes: tuple[int, ...] = (32, 64),
+                apps: list[str] | None = None) -> list[RunKey]:
+    apps = apps if apps is not None else SPLASH2
+    return [runner.key(app, n, Scheme.REBOUND)
+            for app in apps for n in sizes]
+
+
+def plan_fig6_3(runner: Runner, apps: list[str] | None = None,
+                n_cores: int = 64, suite: str = "SPLASH-2") -> list[RunKey]:
+    apps = apps if apps is not None else SPLASH2
+    schemes = (*OVERHEAD_SCHEMES, Scheme.NONE)
+    return [runner.key(app, n_cores, scheme)
+            for app in apps for scheme in schemes]
+
+
+def plan_fig6_4(runner: Runner, apps: list[str] | None = None,
+                n_cores: int = 64) -> list[RunKey]:
+    apps = apps if apps is not None else BARRIER_INTENSIVE
+    schemes = (*BARRIER_SCHEMES, Scheme.NONE)
+    return [runner.key(app, n_cores, scheme)
+            for app in apps for scheme in schemes]
+
+
+def plan_fig6_5(runner: Runner, apps: list[str] | None = None,
+                splash_cores: int = 64,
+                parsec_cores: int = 24) -> list[RunKey]:
+    apps = apps if apps is not None else ALL_APPS
+    keys = []
+    for app in apps:
+        n_cores = splash_cores if app in SPLASH2 else parsec_cores
+        keys.extend(runner.key(app, n_cores, scheme)
+                    for scheme in BREAKDOWN_SCHEMES)
+    return keys
+
+
+def plan_fig6_6(runner: Runner, apps: list[str] | None = None,
+                sizes: tuple[int, ...] = (16, 32, 64)) -> list[RunKey]:
+    apps = apps if apps is not None else SPLASH2
+    recovery_apps = apps[:5]
+    keys = []
+    for n_cores in sizes:
+        fault_at = _recovery_fault_at(runner, n_cores)
+        for scheme in SCALABILITY_SCHEMES:
+            for app in apps:
+                keys.append(runner.key(app, n_cores, scheme))
+                keys.append(runner.key(app, n_cores, Scheme.NONE))
+                if app in recovery_apps:
+                    keys.append(runner.key(app, n_cores, scheme,
+                                           fault_at=fault_at))
+    return keys
+
+
+def plan_fig6_7(runner: Runner, apps: list[str] | None = None,
+                n_cores: int = 64) -> list[RunKey]:
+    apps = apps if apps is not None else LOW_ICHK
+    io_every = _io_every(runner, n_cores)
+    keys = []
+    for app in apps:
+        for scheme in (Scheme.GLOBAL, Scheme.REBOUND):
+            keys.append(runner.key(app, n_cores, scheme,
+                                   io_every=io_every))
+            keys.append(runner.key(app, n_cores, scheme))
+    return keys
+
+
+def plan_fig6_8(runner: Runner, apps: list[str] | None = None,
+                n_cores: int = 64) -> list[RunKey]:
+    apps = apps if apps is not None else SPLASH2
+    return [runner.key(app, n_cores, scheme)
+            for scheme in POWER_SCHEMES for app in apps]
+
+
+def plan_table6_1(runner: Runner, apps: list[str] | None = None,
+                  splash_cores: int = 64,
+                  parsec_cores: int = 24) -> list[RunKey]:
+    apps = apps if apps is not None else ALL_APPS
+    return [runner.key(app,
+                       splash_cores if app in SPLASH2 else parsec_cores,
+                       Scheme.REBOUND) for app in apps]
+
+
+ALL_PLANS = {
+    "fig6_1": plan_fig6_1,
+    "fig6_2": plan_fig6_2,
+    "fig6_3": plan_fig6_3,
+    "fig6_4": plan_fig6_4,
+    "fig6_5": plan_fig6_5,
+    "fig6_6": plan_fig6_6,
+    "fig6_7": plan_fig6_7,
+    "fig6_8": plan_fig6_8,
+    "table6_1": plan_table6_1,
+}
+
+
+def plan_experiment(name: str, runner: Runner, **kwargs) -> list[RunKey]:
+    """Enumerate the runs experiment ``name`` needs (without running)."""
+    if name not in ALL_PLANS:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"known: {sorted(ALL_PLANS)}")
+    return ALL_PLANS[name](runner, **kwargs)
 
 
 # ---------------------------------------------------------------------------

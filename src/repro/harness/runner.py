@@ -1,33 +1,22 @@
 """Cached simulation runner for the experiment harness.
 
 Most figures share runs (e.g. the no-checkpointing baseline of an app at
-64 cores), so the runner memoizes completed simulations by their full
-parameter key within a process.
+64 cores), so every run is memoized by its full parameter key.  Since
+the parallel-engine PR the runner is a thin facade over
+:class:`~repro.harness.engine.ExperimentEngine`, which adds cross-figure
+deduplication, a process pool and a persistent on-disk result cache;
+``Runner.run`` keeps its original signature so the experiment drivers
+work unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
-from repro.params import MachineConfig, Scheme
+from repro.harness.engine import ExperimentEngine, RunKey
+from repro.params import Scheme
 from repro.sim import SimStats
-from repro.sim.machine import Machine
-from repro.workloads import get_workload, inject_output_io
-
-
-@dataclass(frozen=True)
-class RunKey:
-    """Memoization key for one simulation."""
-
-    app: str
-    n_cores: int
-    scheme: Scheme
-    intervals: float
-    seed: int
-    scale: int
-    io_every: Optional[int] = None       # output-I/O injection period
-    fault_at: Optional[float] = None     # (cycle, core-0) fault injection
 
 
 @dataclass
@@ -37,32 +26,45 @@ class Runner:
     scale: int = 40
     intervals: float = 3.0
     seed: int = 1
-    cache: dict = field(default_factory=dict)
     verbose: bool = False
+    engine: Optional[ExperimentEngine] = None
+
+    def __post_init__(self):
+        if self.engine is None:
+            # A bare Runner() behaves exactly like the seed's runner:
+            # in-process memoization only, no worker pool, no disk I/O.
+            # Parallelism and the persistent cache are opted into by
+            # passing an engine (as the CLI and benchmarks/conftest do).
+            self.engine = ExperimentEngine(jobs=1, use_disk_cache=False,
+                                           verbose=self.verbose)
+        elif self.verbose:
+            self.engine.verbose = True
+
+    @property
+    def cache(self) -> dict:
+        """In-process memo (kept for backward compatibility)."""
+        return self.engine.memo
+
+    def key(self, app: str, n_cores: int, scheme: Scheme,
+            io_every: Optional[int] = None,
+            fault_at: Optional[float] = None,
+            intervals: Optional[float] = None) -> RunKey:
+        """The :class:`RunKey` a ``run()`` with these arguments uses."""
+        return RunKey(app, n_cores, scheme,
+                      intervals if intervals is not None else self.intervals,
+                      self.seed, self.scale, io_every, fault_at)
+
+    def prefetch(self, keys: Iterable[RunKey]) -> None:
+        """Plan ahead: execute ``keys`` (deduplicated, possibly in
+        parallel) so subsequent ``run()`` calls are cache hits."""
+        self.engine.prefetch(keys)
 
     def run(self, app: str, n_cores: int, scheme: Scheme,
             io_every: Optional[int] = None,
             fault_at: Optional[float] = None,
             intervals: Optional[float] = None) -> SimStats:
-        key = RunKey(app, n_cores, scheme,
-                     intervals if intervals is not None else self.intervals,
-                     self.seed, self.scale, io_every, fault_at)
-        if key in self.cache:
-            return self.cache[key]
-        config = MachineConfig.scaled(n_cores=n_cores, scheme=scheme,
-                                      scale=self.scale)
-        workload = get_workload(app, n_cores, config,
-                                intervals=key.intervals, seed=self.seed)
-        if io_every is not None:
-            workload = inject_output_io(spec=workload, pid=0,
-                                        every_instructions=io_every)
-        faults = [(fault_at, 0)] if fault_at is not None else None
-        if self.verbose:  # pragma: no cover - progress printing
-            print(f"  running {app} x{n_cores} {scheme.value} ...",
-                  flush=True)
-        stats = Machine(config, workload, faults=faults).run()
-        self.cache[key] = stats
-        return stats
+        return self.engine.run(self.key(app, n_cores, scheme,
+                                        io_every, fault_at, intervals))
 
     def baseline(self, app: str, n_cores: int, **kw) -> SimStats:
         return self.run(app, n_cores, Scheme.NONE, **kw)

@@ -60,6 +60,7 @@ class Cache:
         self.n_hits = 0
         self.n_misses = 0
         self.n_evictions = 0
+        self._n_resident = 0          # O(1) len() (kept by insert/remove)
 
     # -- basic operations -------------------------------------------------
     def _set_for(self, addr: int) -> OrderedDict:
@@ -95,19 +96,25 @@ class Cache:
         if len(cset) >= self.assoc:
             _, victim = cset.popitem(last=False)
             self.n_evictions += 1
+            self._n_resident -= 1
         line = CacheLine(addr, state, value)
         cset[addr] = line
+        self._n_resident += 1
         return line, victim
 
     def invalidate(self, addr: int) -> Optional[CacheLine]:
         """Remove ``addr`` if present and return the removed line."""
-        return self._set_for(addr).pop(addr, None)
+        line = self._set_for(addr).pop(addr, None)
+        if line is not None:
+            self._n_resident -= 1
+        return line
 
     def invalidate_all(self) -> int:
         """Flash-invalidate the whole cache (rollback); returns line count."""
-        count = sum(len(s) for s in self._sets)
+        count = self._n_resident
         for cset in self._sets:
             cset.clear()
+        self._n_resident = 0
         return count
 
     # -- iteration helpers -------------------------------------------------
@@ -127,7 +134,7 @@ class Cache:
         return addr in self._set_for(addr)
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return self._n_resident
 
 
 class L1Cache:
@@ -148,6 +155,7 @@ class L1Cache:
         ]
         self.n_hits = 0
         self.n_misses = 0
+        self._n_resident = 0          # O(1) len() (kept by fill/remove)
 
     def _set_for(self, addr: int) -> OrderedDict:
         return self._sets[addr % self.n_sets]
@@ -168,16 +176,20 @@ class L1Cache:
             return
         if len(cset) >= self.assoc:
             cset.popitem(last=False)
+            self._n_resident -= 1
         cset[addr] = True
+        self._n_resident += 1
 
     def invalidate(self, addr: int) -> None:
-        self._set_for(addr).pop(addr, None)
+        if self._set_for(addr).pop(addr, None) is not None:
+            self._n_resident -= 1
 
     def invalidate_all(self) -> int:
-        count = sum(len(s) for s in self._sets)
+        count = self._n_resident
         for cset in self._sets:
             cset.clear()
+        self._n_resident = 0
         return count
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return self._n_resident

@@ -16,7 +16,7 @@ from typing import Optional
 from repro.sim.stats import CoreStats
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreSnapshot:
     """Register/context state captured with checkpoint ``ckpt_id``."""
 

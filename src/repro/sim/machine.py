@@ -6,6 +6,16 @@ structures (caches, directory, channels, log).  Checkpointing schemes
 inject delays through ``core.not_before`` and scheduled callbacks; fault
 injection reveals faults after the detection latency L and hands them to
 the scheme's rollback protocol.
+
+Hot path: runs of consecutive COMPUTE/LOAD/STORE records of one core are
+fused into a single heap residency — the core keeps executing without a
+push/pop per record for as long as no other heap event is due at or
+before its next record, up to ``fuse_quantum`` records.  Because the
+fusion condition is exactly the condition under which the serial heap
+discipline would pop the same core again next, the interleaving (and
+therefore every statistic) is bit-identical to the unbatched loop;
+``fuse_quantum=1`` recovers the original one-record-per-pop behaviour
+and the parity tests compare the two.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from typing import Callable, Optional
 
 from repro.coherence.protocol import CoherenceEngine
 from repro.core.factory import build_scheme
+from repro.core.scheme_base import BaseScheme
 from repro.interconnect import Interconnect
 from repro.mem import MainMemory, MemoryChannels, ReviveLog
 from repro.params import MachineConfig
@@ -42,11 +53,17 @@ class SimulationDeadlock(RuntimeError):
     """No runnable core remains while work is outstanding."""
 
 
+#: Records fused per heap residency before a forced re-push (fairness
+#: backstop only; correctness never depends on it).
+DEFAULT_FUSE_QUANTUM = 256
+
+
 class Machine:
     """A manycore running one workload under one checkpointing scheme."""
 
     def __init__(self, config: MachineConfig, workload: WorkloadSpec,
-                 faults: Optional[list[tuple[float, int]]] = None):
+                 faults: Optional[list[tuple[float, int]]] = None,
+                 fuse_quantum: int = DEFAULT_FUSE_QUANTUM):
         if workload.n_threads > config.n_cores:
             raise ValueError(
                 f"workload needs {workload.n_threads} threads but the "
@@ -70,6 +87,17 @@ class Machine:
             self.sync.add_barrier(barrier.barrier_id, barrier.participants,
                                   barrier.count_line, barrier.flag_line)
         self.faults = FaultInjector(faults or [], config.detection_latency)
+        if fuse_quantum < 1:
+            raise ValueError("fuse_quantum must be >= 1")
+        self.fuse_quantum = fuse_quantum
+        # The hot loop only calls post_op once a core has executed
+        # post_op_gate() instructions since its checkpoint (the gate is
+        # owned by the scheme, next to post_op itself).  Schemes that
+        # don't override post_op never need the call at all.
+        if type(self.scheme).post_op is BaseScheme.post_op:
+            self._post_op_gate = float("inf")
+        else:
+            self._post_op_gate = self.scheme.post_op_gate()
         self._heap: list[tuple] = []
         self._seq = 0
         self._n_done = 0
@@ -100,40 +128,181 @@ class Machine:
     # main loop
     # ------------------------------------------------------------------
     def run(self, max_cycles: Optional[float] = None) -> SimStats:
+        """Drive the event loop to completion and assemble the stats.
+
+        The trace executor is inlined into the pop loop (every local is
+        bound once per run, not once per record): on each pop the owning
+        core executes records until it blocks, stalls, or another heap
+        event becomes due at or before its next record — the fused
+        continuation re-runs the per-pop bookkeeping (clock, cycle
+        guard, fault delivery) inline, so results are bit-identical to
+        the one-record-per-pop discipline (``fuse_quantum=1``).
+        """
+        limit = max_cycles if max_cycles is not None else float("inf")
         for core in self.cores:
             if not core.trace:
                 core.done = True
                 self._n_done += 1
             else:
                 self.push_core(core)
-        while self._n_done < len(self.cores):
-            if not self._heap:
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        cores = self.cores
+        faults = self.faults
+        scheme = self.scheme
+        sync = self.sync
+        engine_load = self.engine.load
+        engine_store = self.engine.store
+        post_op_gate = self._post_op_gate
+        io_cycles = self.config.io_cycles
+        quantum = self.fuse_quantum
+        n_cores = len(cores)
+        while self._n_done < n_cores:
+            if not heap:
                 self._diagnose_deadlock()
-            when, _, kind, a, b = heapq.heappop(self._heap)
-            self.now = max(self.now, when)
-            if max_cycles is not None and when > max_cycles:
+            when, _, kind, a, b = heappop(heap)
+            if when > self.now:
+                self.now = when
+            if when > limit:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles:,.0f} cycles")
-            pending = self.faults.due(when)
-            for fault in pending:
-                self.scheme.handle_fault(fault.pid, fault.detect_time)
+            if faults.pending:
+                for fault in faults.due(when):
+                    scheme.handle_fault(fault.pid, fault.detect_time)
             if kind == _CALL:
                 a(when)
                 continue
-            core = self.cores[a]
+            core = cores[a]
             if core.done or core.blocked is not None or b != core.epoch:
                 continue  # stale entry
             if when < core.not_before:
                 self.push_core(core)
                 continue
-            self._execute(core, max(when, core.time))
+            # -- trace execution: a batch of records for ``core`` ----------
+            t = core.time
+            now = when if when >= t else t
+            trace = core.trace
+            n_records = len(trace)
+            pid = core.pid
+            stats = core.stats
+            budget = quantum
+            while True:
+                # Checkpoint-initiation decisions run here, at the core's
+                # true position in the global time order — not at the
+                # end-time of a long record committed eagerly during an
+                # earlier pop.  Below the interval threshold post_op is a
+                # guaranteed no-op (BaseScheme contract), so skip it.
+                if core.instr_since_ckpt >= post_op_gate:
+                    scheme.post_op(core, now)
+                    if core.not_before > now:
+                        self.push_core(core)  # back-off / ckpt stall
+                        break
+                record = trace[core.ip] if core.ip < n_records else (END,)
+                op = record[0]
+                if op == COMPUTE:
+                    n = record[1]
+                    core.time = now + n
+                    core.instr_count += n
+                    core.instr_since_ckpt += n
+                    stats.busy += n
+                    core.ip += 1
+                elif op == LOAD:
+                    latency = engine_load(pid, record[1], now)
+                    core.time = now + latency
+                    core.instr_count += 1
+                    core.instr_since_ckpt += 1
+                    stats.busy += latency
+                    core.ip += 1
+                elif op == STORE:
+                    latency = engine_store(pid, record[1],
+                                           core.next_store_value(), now)
+                    core.time = now + latency
+                    core.instr_count += 1
+                    core.instr_since_ckpt += 1
+                    stats.busy += latency
+                    core.ip += 1
+                elif op == BARRIER:
+                    result = sync.barrier_arrive(self, core, record[1], now)
+                    if result is None:
+                        break  # blocked; ip advances on release
+                    core.ip += 1
+                    core.time = result
+                    self.push_core(core)
+                    break
+                elif op == LOCK:
+                    result = sync.lock_acquire(self, core, record[1], now)
+                    if result is None:
+                        break  # blocked; ip advances on grant
+                    core.ip += 1
+                    core.time = result
+                    self.push_core(core)
+                    break
+                elif op == UNLOCK:
+                    core.time = sync.lock_release(self, core, record[1],
+                                                  now)
+                    core.ip += 1
+                    self.push_core(core)
+                    break
+                elif op == OUTPUT:
+                    # Output I/O must be preceded by a checkpoint (Sec 6.4).
+                    after = scheme.on_output(core, now)
+                    if after is None:
+                        # Busy (e.g. a delayed-writeback drain in
+                        # flight): the scheme set not_before; retry the
+                        # same record then.
+                        self.push_core(core)
+                        break
+                    core.time = after + io_cycles
+                    stats.busy += io_cycles
+                    core.instr_count += 1
+                    core.instr_since_ckpt += 1
+                    core.ip += 1
+                    self.push_core(core)
+                    break
+                elif op == END:
+                    core.done = True
+                    stats.end_time = core.time
+                    self._n_done += 1
+                    scheme.on_core_done(core, now)
+                    break
+                else:  # pragma: no cover - malformed trace
+                    raise ValueError(f"unknown trace op {record!r}")
+                # -- fused continuation ------------------------------------
+                budget -= 1
+                t = core.time
+                nb = core.not_before
+                when = t if t >= nb else nb
+                if budget <= 0 or (heap and heap[0][0] <= when):
+                    core.epoch += 1
+                    self._seq += 1
+                    heappush(heap,
+                             (when, self._seq, _EXEC, pid, core.epoch))
+                    break
+                if when > self.now:
+                    self.now = when
+                if when > limit:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_cycles:,.0f} cycles")
+                if faults.pending:
+                    epoch = core.epoch
+                    for fault in faults.due(when):
+                        scheme.handle_fault(fault.pid, fault.detect_time)
+                    if core.done or core.blocked is not None \
+                            or core.epoch != epoch:
+                        break  # rescheduled or retired by fault handling
+                    if when < core.not_before:
+                        self.push_core(core)
+                        break
+                now = when
         # The application finished, but background work (delayed-writeback
         # drains) may still be scheduled: let it complete so checkpoints
         # close and the log/markers are consistent.
-        while self._heap:
-            when, _, kind, a, _ = heapq.heappop(self._heap)
+        while heap:
+            when, _, kind, a, _ = heappop(heap)
             if kind == _CALL:
-                self.now = max(self.now, when)
+                if when > self.now:
+                    self.now = when
                 a(when)
         return self.finalize()
 
@@ -145,75 +314,6 @@ class Machine:
                               f"site={core.block_site} ip={core.ip}")
         raise SimulationDeadlock("no runnable core; waiting: " +
                                  "; ".join(states))
-
-    # ------------------------------------------------------------------
-    # trace execution
-    # ------------------------------------------------------------------
-    def _execute(self, core: Core, now: float) -> None:
-        # Checkpoint-initiation decisions run here, at the core's true
-        # position in the global time order — not at the end-time of a
-        # long record committed eagerly during an earlier pop.
-        self.scheme.post_op(core, now)
-        if core.not_before > now:
-            self.push_core(core)   # back-off / checkpoint stall injected
-            return
-        trace = core.trace
-        record = trace[core.ip] if core.ip < len(trace) else (END,)
-        op = record[0]
-        if op == COMPUTE:
-            n = record[1]
-            core.time = now + n
-            core.instr_count += n
-            core.instr_since_ckpt += n
-            core.stats.busy += n
-            core.ip += 1
-        elif op == LOAD:
-            latency = self.engine.load(core.pid, record[1], now)
-            core.time = now + latency
-            core.instr_count += 1
-            core.instr_since_ckpt += 1
-            core.stats.busy += latency
-            core.ip += 1
-        elif op == STORE:
-            latency = self.engine.store(core.pid, record[1],
-                                        core.next_store_value(), now)
-            core.time = now + latency
-            core.instr_count += 1
-            core.instr_since_ckpt += 1
-            core.stats.busy += latency
-            core.ip += 1
-        elif op == BARRIER:
-            result = self.sync.barrier_arrive(self, core, record[1], now)
-            if result is None:
-                return  # blocked; ip advances on release
-            core.ip += 1
-            core.time = result
-        elif op == LOCK:
-            result = self.sync.lock_acquire(self, core, record[1], now)
-            if result is None:
-                return  # blocked; ip advances on grant
-            core.ip += 1
-            core.time = result
-        elif op == UNLOCK:
-            core.time = self.sync.lock_release(self, core, record[1], now)
-            core.ip += 1
-        elif op == OUTPUT:
-            # Output I/O must be preceded by a checkpoint (Section 6.4).
-            after = self.scheme.on_output(core, now)
-            core.time = after + self.config.io_cycles
-            core.stats.busy += self.config.io_cycles
-            core.instr_count += 1
-            core.instr_since_ckpt += 1
-            core.ip += 1
-        elif op == END:
-            core.done = True
-            core.stats.end_time = core.time
-            self._n_done += 1
-            self.scheme.on_core_done(core, now)
-            return
-        else:  # pragma: no cover - malformed trace
-            raise ValueError(f"unknown trace op {record!r}")
-        self.push_core(core)
 
     # ------------------------------------------------------------------
     # wiring helpers used by schemes and sync

@@ -15,7 +15,7 @@ from typing import Optional
 from repro.params import MachineConfig, Scheme
 
 
-@dataclass
+@dataclass(slots=True)
 class CheckpointEvent:
     """One checkpoint of a set of processors."""
 
@@ -28,7 +28,7 @@ class CheckpointEvent:
     duration: float           # sync start -> writebacks complete
 
 
-@dataclass
+@dataclass(slots=True)
 class RollbackEvent:
     """One recovery: a set of processors rolled back together."""
 
@@ -41,7 +41,7 @@ class RollbackEvent:
     wasted_cycles: float      # work discarded across the set
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Per-core cycle accounting."""
 

@@ -1,0 +1,135 @@
+"""Parity guard for the fused (batched) simulation hot path.
+
+``Machine.run`` keeps a core resident in the event loop across runs of
+consecutive COMPUTE/LOAD/STORE records instead of paying a heap
+push/pop per record.  The fusion condition mirrors the serial heap
+discipline exactly, so every statistic must be bit-identical to the
+one-record-per-pop execution (``fuse_quantum=1``) — for every scheme,
+with synchronization, output I/O and fault injection in the mix.
+"""
+
+import pytest
+
+from repro.params import MachineConfig, Scheme
+from repro.sim.machine import DEFAULT_FUSE_QUANTUM, Machine
+from repro.trace import BARRIER, COMPUTE, END, LOAD, STORE
+from repro.workloads import get_workload, inject_output_io
+from tests.conftest import make_machine, make_spec, tiny_config
+
+SCALE = 150
+INTERVALS = 1.8
+
+
+def _spec(app, n_cores, config, io_every=None):
+    spec = get_workload(app, n_cores, config, intervals=INTERVALS, seed=1)
+    if io_every is not None:
+        spec = inject_output_io(spec=spec, pid=0,
+                                every_instructions=io_every)
+    return spec
+
+
+def _run_pair(app, n_cores, scheme, io_every=None, fault_at=None,
+              quantum=DEFAULT_FUSE_QUANTUM):
+    config = MachineConfig.scaled(n_cores=n_cores, scheme=scheme,
+                                  scale=SCALE)
+    faults = [(fault_at, 0)] if fault_at is not None else None
+    unbatched = Machine(config, _spec(app, n_cores, config, io_every),
+                        faults=faults, fuse_quantum=1).run()
+    batched = Machine(config, _spec(app, n_cores, config, io_every),
+                      faults=faults, fuse_quantum=quantum).run()
+    return unbatched, batched
+
+
+class TestBatchedParity:
+    @pytest.mark.parametrize("app,n_cores,scheme", [
+        ("blackscholes", 8, Scheme.NONE),
+        ("blackscholes", 8, Scheme.REBOUND),
+        ("ocean", 8, Scheme.GLOBAL),
+        ("ocean", 4, Scheme.GLOBAL_DWB),
+        ("barnes", 8, Scheme.REBOUND_BARR),       # barrier-intensive
+        ("radiosity", 4, Scheme.REBOUND_NODWB_BARR),
+        ("water_sp", 4, Scheme.REBOUND_NODWB),
+        ("apache", 4, Scheme.REBOUND),            # lock-heavy
+    ])
+    def test_matrix_parity(self, app, n_cores, scheme):
+        unbatched, batched = _run_pair(app, n_cores, scheme)
+        assert batched == unbatched
+
+    @pytest.mark.parametrize("scheme", [Scheme.GLOBAL, Scheme.REBOUND])
+    def test_output_io_parity(self, scheme):
+        unbatched, batched = _run_pair("blackscholes", 4, scheme,
+                                       io_every=4000)
+        assert batched == unbatched
+        assert any(e.kind == "io" for e in batched.checkpoints)
+
+    def test_output_retry_when_scheme_answers_none(self):
+        # OUTPUT every 50 instructions outpaces the Dep-set rotation,
+        # so initiate_checkpoint answers None (retry later, Sec 3.3.4);
+        # the loop must re-push the core at not_before instead of
+        # computing ``None + io_cycles`` (crashed before the fix).
+        unbatched, batched = _run_pair("blackscholes", 4, Scheme.REBOUND,
+                                       io_every=50)
+        assert batched == unbatched
+        # The retry path really fired: deferred initiators accumulate
+        # Dep-set stall cycles.
+        assert sum(c.depset_stall for c in batched.cores) > 0
+
+    @pytest.mark.parametrize("scheme", [Scheme.GLOBAL, Scheme.REBOUND,
+                                        Scheme.REBOUND_NODWB])
+    def test_fault_injection_parity(self, scheme):
+        interval = MachineConfig.scaled(n_cores=4,
+                                        scale=SCALE).checkpoint_interval
+        unbatched, batched = _run_pair("ocean", 4, scheme,
+                                       fault_at=1.6 * interval)
+        assert batched == unbatched
+        assert batched.rollbacks  # the fault really recovered
+
+    @pytest.mark.parametrize("quantum", [2, 3, 7, 64])
+    def test_any_quantum_is_equivalent(self, quantum):
+        unbatched, batched = _run_pair("water_sp", 4, Scheme.REBOUND,
+                                       quantum=quantum)
+        assert batched == unbatched
+
+    def test_single_core_fuses_across_empty_heap(self):
+        # One active core: nothing else is ever due, so the whole trace
+        # runs in quantum-sized residencies; results must not change.
+        trace = [(COMPUTE, 10), (STORE, 3), (LOAD, 3)] * 200 + [(END,)]
+        a = make_machine([list(trace)],
+                         config=tiny_config(2, Scheme.NONE))
+        b = make_machine([list(trace)],
+                         config=tiny_config(2, Scheme.NONE))
+        b.fuse_quantum = 1
+        assert a.run() == b.run()
+
+    def test_rejects_bad_quantum(self):
+        spec = make_spec([[(END,)]])
+        with pytest.raises(ValueError, match="fuse_quantum"):
+            Machine(tiny_config(2, Scheme.NONE), spec, fuse_quantum=0)
+
+    def test_max_cycles_guard_still_fires_in_batch(self):
+        # The per-record cycle guard must also trip inside a fused run
+        # (single core, empty heap -> pure batching).
+        machine = make_machine(
+            [[(COMPUTE, 50)] * 100 + [(END,)]],
+            config=tiny_config(2, Scheme.NONE))
+        with pytest.raises(RuntimeError, match="exceeded"):
+            machine.run(max_cycles=1000)
+
+    def test_barrier_sync_parity(self):
+        # Hand-built barrier workload: cores meet twice, with skew.
+        from repro.trace import AddressSpace
+        from tests.conftest import barrier_spec
+        traces = [
+            [(COMPUTE, 50), (BARRIER, 0), (COMPUTE, 200), (BARRIER, 1),
+             (END,)],
+            [(COMPUTE, 500), (BARRIER, 0), (COMPUTE, 10), (BARRIER, 1),
+             (END,)],
+        ]
+        def build(quantum):
+            space = AddressSpace()
+            spec = make_spec([list(t) for t in traces],
+                             barriers=[barrier_spec(2, 0, space),
+                                       barrier_spec(2, 1, space)])
+            return Machine(tiny_config(2, Scheme.REBOUND), spec,
+                           fuse_quantum=quantum)
+        assert build(DEFAULT_FUSE_QUANTUM).run() == build(1).run()

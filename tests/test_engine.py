@@ -1,0 +1,145 @@
+"""Tests for the experiment engine: dedup, parallelism, disk cache.
+
+The determinism guard: serial, parallel (``jobs=4``) and disk-cache-
+replayed executions must produce *identical* ``SimStats`` for a matrix
+of (app, scheme, n_cores) — plus pickle round-trips for the payload
+types the cache and the process pool move between processes.
+"""
+
+import pickle
+
+import pytest
+
+import repro.harness.engine as engine_mod
+from repro.harness.engine import ExperimentEngine, RunKey, execute_run
+from repro.harness.runner import Runner
+from repro.params import Scheme
+from repro.sim import SimStats
+
+#: Small cross-scheme matrix (tiny scale keeps each run in the tens of
+#: milliseconds).
+MATRIX = [
+    RunKey("blackscholes", 4, Scheme.REBOUND, 1.5, 1, 300),
+    RunKey("blackscholes", 4, Scheme.NONE, 1.5, 1, 300),
+    RunKey("water_sp", 4, Scheme.GLOBAL, 1.5, 1, 300),
+    RunKey("water_sp", 2, Scheme.REBOUND, 1.5, 1, 300),
+]
+
+
+@pytest.fixture()
+def serial_results(tmp_path):
+    eng = ExperimentEngine(jobs=1, use_disk_cache=False)
+    return eng.run_many(MATRIX)
+
+
+class TestParity:
+    def test_parallel_matches_serial(self, serial_results):
+        parallel = ExperimentEngine(jobs=4, use_disk_cache=False)
+        got = parallel.run_many(MATRIX)
+        for key in MATRIX:
+            assert got[key] == serial_results[key], key
+
+    def test_disk_replay_matches_serial(self, serial_results, tmp_path,
+                                        monkeypatch):
+        writer = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                                  use_disk_cache=True)
+        writer.run_many(MATRIX)
+        assert len(writer.profile) == len(MATRIX)
+        # A fresh engine over the same cache dir must replay from disk:
+        # make any recompute blow up.
+        monkeypatch.setattr(engine_mod, "execute_run",
+                            lambda key: pytest.fail(f"recomputed {key}"))
+        reader = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                                  use_disk_cache=True)
+        got = reader.run_many(MATRIX)
+        assert reader.disk_hits == len(MATRIX)
+        assert not reader.profile
+        for key in MATRIX:
+            assert got[key] == serial_results[key], key
+
+
+class TestEngineMechanics:
+    def test_duplicate_keys_computed_once(self):
+        eng = ExperimentEngine(jobs=1, use_disk_cache=False)
+        key = MATRIX[0]
+        got = eng.run_many([key, key, key])
+        assert len(got) == 1
+        assert len(eng.profile) == 1
+
+    def test_memo_returns_identical_object(self):
+        eng = ExperimentEngine(jobs=1, use_disk_cache=False)
+        key = MATRIX[0]
+        assert eng.run(key) is eng.run(key)
+
+    def test_no_cache_writes_nothing(self, tmp_path):
+        eng = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                               use_disk_cache=False)
+        eng.run(MATRIX[0])
+        assert list(tmp_path.iterdir()) == []
+
+    def test_fingerprint_invalidates_cache(self, tmp_path, monkeypatch):
+        eng = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                               use_disk_cache=True)
+        eng.run(MATRIX[0])
+        monkeypatch.setattr(engine_mod, "_FINGERPRINT", "different-code")
+        fresh = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                                 use_disk_cache=True)
+        fresh.run(MATRIX[0])
+        assert fresh.disk_hits == 0          # old entry not addressed
+        assert len(fresh.profile) == 1       # recomputed
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        eng = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                               use_disk_cache=True)
+        key = MATRIX[0]
+        eng.run(key)
+        path = eng._cache_path(key)
+        path.write_bytes(b"not a pickle")
+        fresh = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                                 use_disk_cache=True)
+        stats = fresh.run(key)
+        assert isinstance(stats, SimStats)
+        assert len(fresh.profile) == 1
+
+
+class TestRunnerFacade:
+    def test_runner_routes_through_engine(self, tmp_path):
+        eng = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                               use_disk_cache=True)
+        runner = Runner(scale=300, intervals=1.5, engine=eng)
+        stats = runner.run("blackscholes", 4, Scheme.REBOUND)
+        key = runner.key("blackscholes", 4, Scheme.REBOUND)
+        assert eng.memo[key] is stats
+        assert runner.cache is eng.memo
+
+    def test_prefetch_then_run_hits_memo(self):
+        eng = ExperimentEngine(jobs=1, use_disk_cache=False)
+        runner = Runner(scale=300, intervals=1.5, engine=eng)
+        keys = [runner.key("blackscholes", 4, Scheme.REBOUND),
+                runner.key("blackscholes", 4, Scheme.NONE)]
+        runner.prefetch(keys)
+        assert len(eng.profile) == 2
+        runner.overhead("blackscholes", 4, Scheme.REBOUND)
+        assert len(eng.profile) == 2  # nothing recomputed
+
+
+class TestPickleRoundTrips:
+    def test_runkey_round_trip(self):
+        key = RunKey("ocean", 64, Scheme.REBOUND_BARR, 3.0, 1, 40,
+                     io_every=1000, fault_at=2.5e5)
+        assert pickle.loads(pickle.dumps(key)) == key
+
+    def test_scheme_round_trip(self):
+        for scheme in Scheme:
+            assert pickle.loads(pickle.dumps(scheme)) is scheme
+
+    def test_simstats_round_trip(self):
+        stats = execute_run(MATRIX[0])
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone == stats
+        assert clone.config == stats.config
+        assert clone.cores == stats.cores
+        assert clone.checkpoints == stats.checkpoints
+        # Derived quantities survive too.
+        assert clone.mean_ichk_fraction() == stats.mean_ichk_fraction()
+        assert clone.breakdown() == stats.breakdown()

@@ -23,3 +23,46 @@ class TestCli:
                      "--intervals", "1.5"])
         assert code == 0
         assert "Figure 6.1" in capsys.readouterr().out
+
+
+class TestEngineFlags:
+    def test_plan_banner_and_no_cache(self, capsys):
+        code = main(["fig6_1", "--quick", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[plan]" in out
+        assert "cache=off" in out
+
+    def test_profile_table(self, capsys, tmp_path):
+        code = main(["fig6_1", "--quick", "--profile",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-run wall clock" in out
+        assert "wall s" in out
+
+    def test_jobs_flag_parallel_run(self, capsys, tmp_path):
+        code = main(["fig6_1", "--quick", "-j", "2",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "Figure 6.1" in capsys.readouterr().out
+
+    def test_disk_cache_replays_second_session(self, capsys, tmp_path):
+        main(["fig6_1", "--quick", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        code = main(["fig6_1", "--quick", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 2 from disk cache" in out
+
+    def test_cross_figure_dedup_in_plan(self, capsys, tmp_path):
+        # fig6_3 and fig6_5 share every scheme run; the union must
+        # shrink versus the naive plan total.
+        code = main(["fig6_3", "fig6_5", "--quick", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        plan_line = next(l for l in out.splitlines() if "planned runs"
+                         in l)
+        planned = int(plan_line.split("experiment(s):")[1].split()[0])
+        unique = int(plan_line.split("unique")[0].split(",")[-1])
+        assert unique < planned
