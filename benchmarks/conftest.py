@@ -64,6 +64,9 @@ class BenchParams:
             self.barrier_apps = BARRIER_INTENSIVE[:2]
             self.low_ichk_apps = LOW_ICHK[:2]
             self.sizes = (8, 16)
+            self.campaign_apps = ["blackscholes"]
+            self.campaign_sizes = (4, 8)
+            self.campaign_seeds = 2
         else:
             self.splash_apps = list(SPLASH2)
             self.parsec_apps = list(PARSEC_APACHE)
@@ -71,6 +74,9 @@ class BenchParams:
             self.barrier_apps = list(BARRIER_INTENSIVE)
             self.low_ichk_apps = list(LOW_ICHK)
             self.sizes = (16, 32, 64)
+            self.campaign_apps = ["blackscholes", "ocean"]
+            self.campaign_sizes = (8, 16, 32)
+            self.campaign_seeds = 3
 
 
 @pytest.fixture(scope="session")

@@ -280,8 +280,13 @@ class BaseScheme(DependenceTracker):
             if core.done:
                 core.stats.end_time = 0.0
                 machine._n_done -= 1
-            wasted += core.rollback_to(snap, resume)
-            core.stats.recovery += resume - detect_time
+            wasted += core.rollback_to(snap, resume, detect_time)
+            # Recovery windows of back-to-back faults overlap; count
+            # each wall-clock cycle of recovery at most once per core.
+            core.stats.recovery += max(0.0, resume -
+                                       max(detect_time,
+                                           core.recovery_until))
+            core.recovery_until = max(core.recovery_until, resume)
             self._drop_dep_state(pid, snap.ckpt_id, resume)
         machine.sync.rollback_cleanup(machine, members, targets, resume)
         for pid in targets:

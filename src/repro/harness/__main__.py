@@ -19,6 +19,14 @@ Options::
     --cache-dir DIR    result cache location (default benchmarks/.cache)
     --no-cache         bypass the persistent result cache
     --profile          print a per-run wall-clock table at the end
+
+Fault campaigns get their own subcommand (see ``campaign --help``)::
+
+    python -m repro.harness campaign --seed 7 --seeds 5 --mttf 1.0 \\
+        --apps blackscholes --cores 8 16 --schemes global rebound rebound@4
+
+Every campaign run is identified by its seed-deterministic fault plan,
+so repeated invocations replay from the engine's disk cache.
 """
 
 from __future__ import annotations
@@ -30,6 +38,9 @@ import time
 from repro.harness.engine import ExperimentEngine
 from repro.harness.experiments import (
     ALL_EXPERIMENTS,
+    CAMPAIGN_APPS,
+    fig6_9_campaign,
+    parse_variant,
     plan_experiment,
     run_experiment,
 )
@@ -38,16 +49,7 @@ from repro.harness.runner import Runner
 from repro.workloads import ALL_APPS, PARSEC_APACHE, SPLASH2
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(prog="python -m repro.harness")
-    parser.add_argument("experiments", nargs="*",
-                        default=list(ALL_EXPERIMENTS),
-                        help=f"subset of {sorted(ALL_EXPERIMENTS)}")
-    parser.add_argument("--cores-splash", type=int, default=64)
-    parser.add_argument("--cores-parsec", type=int, default=24)
-    parser.add_argument("--scale", type=int, default=40)
-    parser.add_argument("--intervals", type=float, default=3.0)
-    parser.add_argument("--quick", action="store_true")
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-j", "--jobs", type=int, default=None,
                         help="worker processes (default: REPRO_JOBS or "
                              "the CPU count)")
@@ -57,6 +59,72 @@ def main(argv: list[str] | None = None) -> int:
                              "benchmarks/.cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent result cache")
+
+
+def _build_engine_and_runner(args) -> tuple[ExperimentEngine, Runner]:
+    engine = ExperimentEngine(
+        jobs=args.jobs, cache_dir=args.cache_dir,
+        use_disk_cache=False if args.no_cache else None, verbose=True)
+    runner = Runner(scale=args.scale, intervals=args.intervals,
+                    verbose=True, engine=engine)
+    return engine, runner
+
+
+def campaign_main(argv: list[str]) -> int:
+    """``python -m repro.harness campaign``: seeded Monte Carlo faults."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness campaign",
+        description="Monte Carlo fault campaign: seeded multi-fault "
+                    "recovery runs aggregated into availability, "
+                    "work-lost and IREC/recovery distributions.")
+    parser.add_argument("--seed", type=int, default=100,
+                        help="base fault-plan seed (run i uses seed+i)")
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="number of seeded runs per campaign cell")
+    parser.add_argument("--mttf", type=float, default=1.0,
+                        help="machine-wide MTTF in checkpoint intervals")
+    parser.add_argument("--apps", nargs="+", default=None,
+                        help=f"workloads (default {CAMPAIGN_APPS})")
+    parser.add_argument("--cores", type=int, nargs="+", default=[8, 16],
+                        help="processor counts to sweep")
+    parser.add_argument("--schemes", nargs="+",
+                        default=["global", "rebound", "rebound@4"],
+                        help="scheme variants; 'scheme@K' runs with "
+                             "Dep-register cluster size K")
+    parser.add_argument("--scale", type=int, default=40)
+    parser.add_argument("--intervals", type=float, default=3.0)
+    _add_engine_flags(parser)
+    args = parser.parse_args(argv)
+    variants = tuple(parse_variant(token) for token in args.schemes)
+    engine, runner = _build_engine_and_runner(args)
+    start = time.time()
+    result = fig6_9_campaign(
+        runner, apps=args.apps, sizes=tuple(args.cores),
+        variants=variants, n_seeds=args.seeds, base_seed=args.seed,
+        mttf_intervals=args.mttf)
+    print()
+    print(result.render())
+    print(f"[campaign took {time.time() - start:.1f}s: "
+          f"{len(engine.profile)} computed, {engine.disk_hits} from "
+          f"disk cache]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:  # pragma: no cover - exercised via the console
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
+    parser = argparse.ArgumentParser(prog="python -m repro.harness")
+    parser.add_argument("experiments", nargs="*",
+                        default=list(ALL_EXPERIMENTS),
+                        help=f"subset of {sorted(ALL_EXPERIMENTS)}")
+    parser.add_argument("--cores-splash", type=int, default=64)
+    parser.add_argument("--cores-parsec", type=int, default=24)
+    parser.add_argument("--scale", type=int, default=40)
+    parser.add_argument("--intervals", type=float, default=3.0)
+    parser.add_argument("--quick", action="store_true")
+    _add_engine_flags(parser)
     parser.add_argument("--profile", action="store_true",
                         help="print per-run wall-clock table at the end")
     args = parser.parse_args(argv)
@@ -65,11 +133,7 @@ def main(argv: list[str] | None = None) -> int:
         args.cores_parsec = 8
         args.intervals = 2.0
         args.scale = 100
-    engine = ExperimentEngine(
-        jobs=args.jobs, cache_dir=args.cache_dir,
-        use_disk_cache=False if args.no_cache else None, verbose=True)
-    runner = Runner(scale=args.scale, intervals=args.intervals,
-                    verbose=True, engine=engine)
+    engine, runner = _build_engine_and_runner(args)
     kwargs_by_experiment = {
         "fig6_1": {"n_cores": args.cores_parsec},
         "fig6_2": {"sizes": (min(32, args.cores_splash),
@@ -83,6 +147,8 @@ def main(argv: list[str] | None = None) -> int:
                                           args.cores_splash}))},
         "fig6_7": {"n_cores": args.cores_splash},
         "fig6_8": {"n_cores": args.cores_splash},
+        "fig6_9": {"sizes": (max(4, args.cores_splash // 8),
+                             max(8, args.cores_splash // 4))},
         "table6_1": {"splash_cores": args.cores_splash,
                      "parsec_cores": args.cores_parsec},
     }
@@ -93,6 +159,8 @@ def main(argv: list[str] | None = None) -> int:
         kwargs_by_experiment["fig6_1"]["apps"] = PARSEC_APACHE[:2]
         kwargs_by_experiment["fig6_5"]["apps"] = ALL_APPS[:3]
         kwargs_by_experiment["fig6_7"]["apps"] = ["blackscholes"]
+        kwargs_by_experiment["fig6_9"].update(
+            {"apps": ["blackscholes"], "sizes": (4, 8), "n_seeds": 2})
         kwargs_by_experiment["table6_1"]["apps"] = ALL_APPS[:4]
     # Plan every requested figure up front so runs shared across figures
     # execute exactly once, in one (possibly parallel) engine batch; the

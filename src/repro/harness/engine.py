@@ -11,9 +11,11 @@ recomputing them.
 
 Cache invalidation: each entry's file name hashes the :class:`RunKey`
 together with a *code fingerprint* — a SHA-256 over every ``*.py`` file
-of the ``repro`` package — so any change to the simulator silently
-invalidates all previous results.  Stale files are never read; delete
-the cache directory to reclaim the space.
+of the ``repro`` package, the interpreter's (major, minor) version and
+the pickle protocol — so any change to the simulator (or a cache dir
+shared across Python versions) silently invalidates all previous
+results.  Stale files are never read; delete the cache directory to
+reclaim the space.
 
 Knobs (CLI flags on ``python -m repro.harness`` map onto the same
 settings)::
@@ -28,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -36,6 +39,7 @@ from typing import Iterable, Optional
 
 from repro.params import MachineConfig, Scheme
 from repro.sim import SimStats
+from repro.sim.faults import FaultPlan
 from repro.sim.machine import Machine
 from repro.workloads import get_workload, inject_output_io
 
@@ -57,20 +61,35 @@ class RunKey:
     seed: int
     scale: int
     io_every: Optional[int] = None       # output-I/O injection period
-    fault_at: Optional[float] = None     # (cycle, core-0) fault injection
+    fault_at: Optional[float] = None     # compat shim: one core-0 fault
+    fault_plan: Optional[FaultPlan] = None   # seeded multi-fault campaign
+    cluster: int = 1                     # Dep-register cluster size (Ch. 8)
+
+    def fault_list(self) -> Optional[list[tuple[float, int]]]:
+        """The faults this key injects (``fault_at`` is the legacy
+        single-fault shim; a ``fault_plan`` supersedes it)."""
+        if self.fault_plan is not None and self.fault_at is not None:
+            raise ValueError(
+                "RunKey.fault_at and RunKey.fault_plan are mutually "
+                "exclusive; encode the single fault in the plan")
+        if self.fault_plan is not None:
+            return list(self.fault_plan.faults)
+        if self.fault_at is not None:
+            return [(self.fault_at, 0)]
+        return None
 
 
 def execute_run(key: RunKey) -> SimStats:
     """Build and run the simulation ``key`` describes (pure function)."""
     config = MachineConfig.scaled(n_cores=key.n_cores, scheme=key.scheme,
-                                  scale=key.scale)
+                                  scale=key.scale,
+                                  dep_cluster_size=key.cluster)
     workload = get_workload(key.app, key.n_cores, config,
                             intervals=key.intervals, seed=key.seed)
     if key.io_every is not None:
         workload = inject_output_io(spec=workload, pid=0,
                                     every_instructions=key.io_every)
-    faults = [(key.fault_at, 0)] if key.fault_at is not None else None
-    return Machine(config, workload, faults=faults).run()
+    return Machine(config, workload, faults=key.fault_list()).run()
 
 
 def _timed_run(key: RunKey) -> tuple[SimStats, float]:
@@ -84,10 +103,19 @@ _FINGERPRINT: Optional[str] = None
 
 
 def code_fingerprint() -> str:
-    """SHA-256 over the ``repro`` package sources (cache invalidation)."""
+    """SHA-256 over the ``repro`` package sources (cache invalidation).
+
+    The interpreter's (major, minor) version and the pickle protocol are
+    mixed in as well: cache directories shared across Python versions
+    (CI's actions/cache, a laptop with several venvs) must never serve
+    an entry pickled by a different interpreter line.
+    """
     global _FINGERPRINT
     if _FINGERPRINT is None:
-        digest = hashlib.sha256(f"format:{CACHE_FORMAT}".encode())
+        digest = hashlib.sha256(
+            f"format:{CACHE_FORMAT}"
+            f"|python:{sys.version_info[0]}.{sys.version_info[1]}"
+            f"|pickle:{pickle.HIGHEST_PROTOCOL}".encode())
         for path in sorted(_PACKAGE_DIR.rglob("*.py")):
             digest.update(str(path.relative_to(_PACKAGE_DIR)).encode())
             digest.update(path.read_bytes())
@@ -247,7 +275,9 @@ class ExperimentEngine:
             raise RuntimeError(
                 f"simulation failed for {key.app} x{key.n_cores} "
                 f"{key.scheme.value} (io_every={key.io_every}, "
-                f"fault_at={key.fault_at}, scale={key.scale})") from exc
+                f"fault_at={key.fault_at}, fault_plan={key.fault_plan}, "
+                f"cluster={key.cluster}, seed={key.seed}, "
+                f"scale={key.scale})") from exc
 
     def _announce(self, key: RunKey) -> None:
         if self.verbose:  # pragma: no cover - progress printing
@@ -270,9 +300,14 @@ class ExperimentEngine:
         rows = []
         for key, seconds in sorted(self.profile.items(),
                                    key=lambda kv: -kv[1]):
+            if key.fault_plan is not None:
+                faults = f"plan[{key.fault_plan.n_faults}]"
+            elif key.fault_at is not None:
+                faults = f"{key.fault_at:,.0f}"
+            else:
+                faults = "-"
             rows.append([key.app, key.n_cores, key.scheme.value,
                          key.io_every if key.io_every is not None else "-",
-                         f"{key.fault_at:,.0f}" if key.fault_at is not None
-                         else "-",
+                         faults,
                          f"{seconds:.2f}"])
         return rows

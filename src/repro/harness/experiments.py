@@ -39,14 +39,18 @@ Paper reference points (what the *shape* checks compare against):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from statistics import mean
+from typing import NamedTuple, Optional
 
 from repro.harness.engine import RunKey
 from repro.harness.report import format_bars, format_table
 from repro.harness.runner import Runner
 from repro.params import LOG_ENTRY_BYTES, MachineConfig, Scheme
 from repro.power import ed2, energy_of_stats
+from repro.sim.faults import FaultPlan
+from repro.sim.stats import summarize_campaign
 from repro.workloads import (
     ALL_APPS,
     BARRIER_INTENSIVE,
@@ -240,8 +244,8 @@ def fig6_6_scalability(runner: Runner, apps: list[str] | None = None,
     """Overhead / energy increase / recovery latency vs. cores (Fig 6.6)."""
     apps = apps if apps is not None else SPLASH2
     runner.prefetch(plan_fig6_6(runner, apps, sizes))
-    # Fault-injection runs cannot reuse cached simulations, so recovery
-    # latency averages a representative subset (noted in EXPERIMENTS.md).
+    # Recovery latency averages a representative subset of the apps
+    # (noted in EXPERIMENTS.md) to bound the fault-run count.
     recovery_apps = apps[:5]
     rows = []
     for n_cores in sizes:
@@ -256,13 +260,15 @@ def fig6_6_scalability(runner: Runner, apps: list[str] | None = None,
                 energy_increases.append((e_scheme - e_base) /
                                         e_base if e_base else 0.0)
                 if app in recovery_apps:
-                    recoveries.append(_recovery_latency(
-                        runner, app, n_cores, scheme))
+                    latency = _recovery_latency(
+                        runner, app, n_cores, scheme)
+                    if latency is not None:
+                        recoveries.append(latency)
             rows.append([
                 n_cores, scheme.value,
                 f"{100 * mean(overheads):.2f}%",
                 f"{100 * mean(energy_increases):.2f}%",
-                f"{mean(recoveries):,.0f}",
+                f"{mean(recoveries):,.0f}" if recoveries else "-",
             ])
     return ExperimentResult(
         "Figure 6.6: scalability with processor count (SPLASH-2 average)",
@@ -274,15 +280,25 @@ def fig6_6_scalability(runner: Runner, apps: list[str] | None = None,
 
 
 def _recovery_latency(runner: Runner, app: str, n_cores: int,
-                      scheme: Scheme) -> float:
+                      scheme: Scheme) -> Optional[float]:
     """Mean recovery latency with a fault injected late in the run.
 
     The paper measures a transient fault right before a checkpoint; we
-    inject on core 0 late in the second interval (cycles ~ instructions
-    for these 1-IPC cores) so at least one checkpoint is safe.
+    inject on core 0 late in the run (cycles ~ instructions for these
+    1-IPC cores) so at least one checkpoint is safe.  A fault the run
+    finished before detecting yields no recovery at all: warn and
+    return None (skipped from the average) instead of letting a fake
+    0-cycle recovery deflate Figure 6.6.
     """
     fault_at = _recovery_fault_at(runner, n_cores)
     stats = runner.run(app, n_cores, scheme, fault_at=fault_at)
+    if not stats.rollbacks:
+        warnings.warn(
+            f"fig6_6: fault at cycle {fault_at:,.0f} in {app} x{n_cores} "
+            f"{scheme.value} was never delivered "
+            f"({stats.undelivered_faults} undelivered); skipping its "
+            f"recovery-latency sample", stacklevel=2)
+        return None
     return stats.mean_recovery_latency()
 
 
@@ -366,6 +382,117 @@ def fig6_8_power(runner: Runner, apps: list[str] | None = None,
 
 
 # ---------------------------------------------------------------------------
+# Figure 6.9 (extension) — Monte Carlo fault campaigns
+# ---------------------------------------------------------------------------
+
+class CampaignVariant(NamedTuple):
+    """One bar of the campaign comparison: a scheme at a cluster size."""
+
+    label: str
+    scheme: Scheme
+    cluster: int
+
+
+#: Default campaign comparison: Rebound vs Global vs cluster-granular
+#: Rebound (Chapter 8's trade-off) under the same fault process.
+CAMPAIGN_VARIANTS = (
+    CampaignVariant("global", Scheme.GLOBAL, 1),
+    CampaignVariant("rebound", Scheme.REBOUND, 1),
+    CampaignVariant("rebound@4", Scheme.REBOUND, 4),
+)
+
+#: Apps of the default campaign sweep (one low-ICHK, one high-ICHK).
+CAMPAIGN_APPS = ["blackscholes", "ocean"]
+
+
+def parse_variant(token: str) -> CampaignVariant:
+    """``"rebound"`` or ``"rebound@4"`` (scheme at cluster size 4)."""
+    name, _, cluster = token.partition("@")
+    try:
+        scheme = Scheme(name)
+    except ValueError:
+        raise ValueError(
+            f"unknown scheme {name!r}; known: "
+            f"{sorted(s.value for s in Scheme)}") from None
+    try:
+        size = int(cluster) if cluster else 1
+    except ValueError:
+        raise ValueError(
+            f"cluster size in {token!r} must be an integer "
+            f"(e.g. rebound@4)") from None
+    if size < 1:
+        raise ValueError(f"cluster size must be >= 1, got {size}")
+    return CampaignVariant(token, scheme, size)
+
+
+def _campaign_plans(runner: Runner, n_cores: int, n_seeds: int,
+                    base_seed: int, mttf_intervals: float
+                    ) -> list[FaultPlan]:
+    """The seeded fault plans of one campaign cell.
+
+    The MTTF is expressed in checkpoint intervals (machine-wide), so
+    the fault pressure is scale-invariant; the horizon covers the whole
+    run (instructions ~ cycles for these 1-IPC cores, and runs only
+    ever take *longer* than their instruction count — a fault drawn
+    past the actual end is recorded as undelivered, which the summary
+    reports rather than hides).
+    """
+    interval = _configured_interval(runner, n_cores)
+    mttf = mttf_intervals * interval
+    horizon = runner.intervals * interval
+    return [FaultPlan.from_mttf(seed=base_seed + i, mttf=mttf,
+                                horizon=horizon, n_cores=n_cores)
+            for i in range(n_seeds)]
+
+
+def fig6_9_campaign(runner: Runner, apps: list[str] | None = None,
+                    sizes: tuple[int, ...] = (8, 16),
+                    variants: tuple[CampaignVariant, ...] = CAMPAIGN_VARIANTS,
+                    n_seeds: int = 3, base_seed: int = 100,
+                    mttf_intervals: float = 1.0) -> ExperimentResult:
+    """Monte Carlo fault campaign: recovery cost under an MTTF model.
+
+    For every (processor count, variant) cell, ``n_seeds`` seeded
+    multi-fault runs per app are simulated (faults drawn from an
+    exponential model, any core, including mid-checkpoint and
+    back-to-back) and aggregated into availability, work-lost and
+    IREC/recovery-latency distributions.  Plans are seed-deterministic,
+    so every run is cacheable and parallelizable through the engine.
+    """
+    apps = apps if apps is not None else CAMPAIGN_APPS
+    runner.prefetch(plan_fig6_9(runner, apps, sizes, variants, n_seeds,
+                                base_seed, mttf_intervals))
+    rows = []
+    for n_cores in sizes:
+        plans = _campaign_plans(runner, n_cores, n_seeds, base_seed,
+                                mttf_intervals)
+        for variant in variants:
+            runs = [runner.run(app, n_cores, variant.scheme,
+                               fault_plan=plan, cluster=variant.cluster)
+                    for app in apps for plan in plans]
+            summary = summarize_campaign(runs)
+            rows.append([
+                n_cores, variant.label,
+                f"{100 * summary.mean_availability:.2f}%",
+                f"{summary.mean_work_lost:,.0f}",
+                f"{summary.mean_rollbacks_per_run:.1f}",
+                f"{summary.mean_irec_size:.1f}",
+                f"{summary.recovery_latency_percentile(95):,.0f}",
+                f"{summary.delivered_faults}/{summary.injected_faults}",
+            ])
+    return ExperimentResult(
+        f"Figure 6.9 (ext): fault campaign, MTTF = {mttf_intervals:g} "
+        f"interval(s), {n_seeds} seed(s)/app, apps={'+'.join(apps)}",
+        ["cores", "variant", "availability", "work lost (cyc)",
+         "rollbacks/run", "mean |IREC|", "p95 recovery (cyc)",
+         "delivered"], rows,
+        notes="extension: Rebound rolls back only the IREC, so its "
+              "availability stays above Global's and its work-lost "
+              "stays flat as the machine grows; cluster mode trades "
+              "toward Global")
+
+
+# ---------------------------------------------------------------------------
 # Table 6.1 — characterization
 # ---------------------------------------------------------------------------
 
@@ -418,9 +545,14 @@ def _configured_interval(runner: Runner, n_cores: int) -> int:
 
 def _recovery_fault_at(runner: Runner, n_cores: int) -> float:
     """Fault-injection time of the Fig 6.6 recovery runs: late in the
-    second interval (shared by the driver and its planner, so the
-    planned keys are exactly the keys the driver requests)."""
-    return 2.6 * _configured_interval(runner, n_cores)
+    run but comfortably before it ends, whatever ``--intervals`` says
+    (shared by the driver and its planner, so the planned keys are
+    exactly the keys the driver requests).  At the default 3-interval
+    length this is the historical 2.6 intervals; shorter runs (e.g.
+    ``--quick``'s 2 intervals) pull the fault in so its detection still
+    lands inside the run instead of being silently dropped."""
+    fraction = min(2.6, max(0.6, runner.intervals - 0.4))
+    return fraction * _configured_interval(runner, n_cores)
 
 
 def _io_every(runner: Runner, n_cores: int) -> int:
@@ -507,6 +639,25 @@ def plan_fig6_8(runner: Runner, apps: list[str] | None = None,
             for scheme in POWER_SCHEMES for app in apps]
 
 
+def plan_fig6_9(runner: Runner, apps: list[str] | None = None,
+                sizes: tuple[int, ...] = (8, 16),
+                variants: tuple[CampaignVariant, ...] = CAMPAIGN_VARIANTS,
+                n_seeds: int = 3, base_seed: int = 100,
+                mttf_intervals: float = 1.0) -> list[RunKey]:
+    apps = apps if apps is not None else CAMPAIGN_APPS
+    keys = []
+    for n_cores in sizes:
+        plans = _campaign_plans(runner, n_cores, n_seeds, base_seed,
+                                mttf_intervals)
+        for variant in variants:
+            for app in apps:
+                keys.extend(
+                    runner.key(app, n_cores, variant.scheme,
+                               fault_plan=plan, cluster=variant.cluster)
+                    for plan in plans)
+    return keys
+
+
 def plan_table6_1(runner: Runner, apps: list[str] | None = None,
                   splash_cores: int = 64,
                   parsec_cores: int = 24) -> list[RunKey]:
@@ -525,6 +676,7 @@ ALL_PLANS = {
     "fig6_6": plan_fig6_6,
     "fig6_7": plan_fig6_7,
     "fig6_8": plan_fig6_8,
+    "fig6_9": plan_fig6_9,
     "table6_1": plan_table6_1,
 }
 
@@ -550,6 +702,7 @@ ALL_EXPERIMENTS = {
     "fig6_6": fig6_6_scalability,
     "fig6_7": fig6_7_io,
     "fig6_8": fig6_8_power,
+    "fig6_9": fig6_9_campaign,
     "table6_1": table6_1_characterization,
 }
 

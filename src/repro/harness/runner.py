@@ -17,6 +17,7 @@ from typing import Iterable, Optional
 from repro.harness.engine import ExperimentEngine, RunKey
 from repro.params import Scheme
 from repro.sim import SimStats
+from repro.sim.faults import FaultPlan
 
 
 @dataclass
@@ -48,11 +49,14 @@ class Runner:
     def key(self, app: str, n_cores: int, scheme: Scheme,
             io_every: Optional[int] = None,
             fault_at: Optional[float] = None,
-            intervals: Optional[float] = None) -> RunKey:
+            intervals: Optional[float] = None,
+            fault_plan: Optional[FaultPlan] = None,
+            cluster: int = 1) -> RunKey:
         """The :class:`RunKey` a ``run()`` with these arguments uses."""
         return RunKey(app, n_cores, scheme,
                       intervals if intervals is not None else self.intervals,
-                      self.seed, self.scale, io_every, fault_at)
+                      self.seed, self.scale, io_every, fault_at,
+                      fault_plan, cluster)
 
     def prefetch(self, keys: Iterable[RunKey]) -> None:
         """Plan ahead: execute ``keys`` (deduplicated, possibly in
@@ -62,9 +66,12 @@ class Runner:
     def run(self, app: str, n_cores: int, scheme: Scheme,
             io_every: Optional[int] = None,
             fault_at: Optional[float] = None,
-            intervals: Optional[float] = None) -> SimStats:
+            intervals: Optional[float] = None,
+            fault_plan: Optional[FaultPlan] = None,
+            cluster: int = 1) -> SimStats:
         return self.engine.run(self.key(app, n_cores, scheme,
-                                        io_every, fault_at, intervals))
+                                        io_every, fault_at, intervals,
+                                        fault_plan, cluster))
 
     def baseline(self, app: str, n_cores: int, **kw) -> SimStats:
         return self.run(app, n_cores, Scheme.NONE, **kw)

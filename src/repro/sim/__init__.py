@@ -1,9 +1,16 @@
 """Cycle-approximate manycore simulator (the SESC/Pin/DRAMsim substitute)."""
 
 from repro.sim.cores import Core, CoreSnapshot
-from repro.sim.faults import FaultEvent, FaultInjector
+from repro.sim.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.sim.machine import Machine, SimulationDeadlock
-from repro.sim.stats import CheckpointEvent, CoreStats, RollbackEvent, SimStats
+from repro.sim.stats import (
+    CampaignSummary,
+    CheckpointEvent,
+    CoreStats,
+    RollbackEvent,
+    SimStats,
+    summarize_campaign,
+)
 from repro.sim.sync import BarrierState, LockState, SyncManager
 
 __all__ = [
@@ -15,8 +22,11 @@ __all__ = [
     "CoreStats",
     "CheckpointEvent",
     "RollbackEvent",
+    "CampaignSummary",
+    "summarize_campaign",
     "FaultInjector",
     "FaultEvent",
+    "FaultPlan",
     "SyncManager",
     "LockState",
     "BarrierState",

@@ -37,7 +37,8 @@ class Core:
         "done", "blocked", "block_site", "block_start", "epoch",
         "not_before", "held_locks", "barrier_crossings", "stats",
         "store_seq", "ckpt_busy_until", "snapshots", "next_ckpt_id",
-        "pending_delayed", "delayed_ckpt_id",
+        "pending_delayed", "delayed_ckpt_id", "waste_charged_until",
+        "recovery_until",
     )
 
     def __init__(self, pid: int, trace: list[tuple]):
@@ -67,6 +68,11 @@ class Core:
         self.next_ckpt_id = 1
         self.pending_delayed = 0                # lines still draining
         self.delayed_ckpt_id: Optional[int] = None
+        # Clock watermarks for back-to-back rollbacks: cycles below
+        # waste_charged_until were already written off as wasted work,
+        # and recovery time before recovery_until was already counted.
+        self.waste_charged_until = 0.0
+        self.recovery_until = 0.0
 
     # -- values -------------------------------------------------------------
     def next_store_value(self) -> int:
@@ -106,9 +112,24 @@ class Core:
                 return snap
         return self.snapshots[0]
 
-    def rollback_to(self, snap: CoreSnapshot, resume_time: float) -> float:
-        """Rewind to ``snap``; returns the wasted (discarded) cycles."""
-        wasted = max(0.0, self.time - snap.time)
+    def rollback_to(self, snap: CoreSnapshot, resume_time: float,
+                    detect_time: Optional[float] = None) -> float:
+        """Rewind to ``snap``; returns the wasted (discarded) cycles.
+
+        Waste is the execution discarded *this* rollback: the clock
+        span from the rollback target (or the previous rollback's
+        resume point — ``waste_charged_until`` — whichever is later) up
+        to the detection time.  The detect cap keeps in-flight record
+        tails out; the watermark keeps a back-to-back fault, detected
+        before re-execution got anywhere, from charging the same span
+        (or the recovery wait itself) a second time.
+        """
+        executed_until = self.time if detect_time is None \
+            else min(self.time, detect_time)
+        wasted = max(0.0, executed_until -
+                     max(snap.time, self.waste_charged_until))
+        self.waste_charged_until = max(self.waste_charged_until,
+                                       resume_time)
         self.ip = snap.trace_ip
         self.instr_count = snap.instr_count
         self.instr_since_ckpt = 0

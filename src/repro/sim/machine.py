@@ -30,7 +30,7 @@ from repro.interconnect import Interconnect
 from repro.mem import MainMemory, MemoryChannels, ReviveLog
 from repro.params import MachineConfig
 from repro.sim.cores import Core
-from repro.sim.faults import FaultInjector
+from repro.sim.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.sim.stats import SimStats
 from repro.sim.sync import SyncManager
 from repro.trace import (
@@ -62,7 +62,7 @@ class Machine:
     """A manycore running one workload under one checkpointing scheme."""
 
     def __init__(self, config: MachineConfig, workload: WorkloadSpec,
-                 faults: Optional[list[tuple[float, int]]] = None,
+                 faults: Optional[list[tuple[float, int]] | FaultPlan] = None,
                  fuse_quantum: int = DEFAULT_FUSE_QUANTUM):
         if workload.n_threads > config.n_cores:
             raise ValueError(
@@ -86,6 +86,8 @@ class Machine:
         for barrier in workload.barriers:
             self.sync.add_barrier(barrier.barrier_id, barrier.participants,
                                   barrier.count_line, barrier.flag_line)
+        if isinstance(faults, FaultPlan):
+            faults = list(faults.faults)
         self.faults = FaultInjector(faults or [], config.detection_latency)
         if fuse_quantum < 1:
             raise ValueError("fuse_quantum must be >= 1")
@@ -124,6 +126,20 @@ class Machine:
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, _CALL, callback, None))
 
+    def _deliver_fault(self, event: FaultEvent, when: float) -> None:
+        """Heap callback firing exactly at ``event.detect_time``.
+
+        After the application has finished (the post-run drain loop)
+        there is no execution left to roll back into, so the fault is
+        recorded as undelivered instead of silently vanishing — the
+        stats then refuse to report a fake 0-cycle recovery.
+        """
+        if self._n_done >= len(self.cores):
+            self.faults.mark_undelivered(event)
+            return
+        self.faults.mark_delivered(event)
+        self.scheme.handle_fault(event.pid, event.detect_time)
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
@@ -135,10 +151,21 @@ class Machine:
         core executes records until it blocks, stalls, or another heap
         event becomes due at or before its next record — the fused
         continuation re-runs the per-pop bookkeeping (clock, cycle
-        guard, fault delivery) inline, so results are bit-identical to
-        the one-record-per-pop discipline (``fuse_quantum=1``).
+        guard) inline, so results are bit-identical to the
+        one-record-per-pop discipline (``fuse_quantum=1``).  Fault
+        delivery needs no bookkeeping here: faults are heap events, so
+        they both break fusion and pop at their exact detection times.
         """
         limit = max_cycles if max_cycles is not None else float("inf")
+        # Faults are first-class heap events at their exact detection
+        # times: the fusion condition consults the heap, so a batch
+        # always breaks before a fault is due and no core can commit
+        # work past a detect_time before the scheme hears about it.
+        # Scheduled before the initial core pushes so a fault beats any
+        # trace record carrying the same timestamp.
+        for event in self.faults.pending:
+            self.schedule(event.detect_time,
+                          lambda t, e=event: self._deliver_fault(e, t))
         for core in self.cores:
             if not core.trace:
                 core.done = True
@@ -149,7 +176,6 @@ class Machine:
         heappop = heapq.heappop
         heappush = heapq.heappush
         cores = self.cores
-        faults = self.faults
         scheme = self.scheme
         sync = self.sync
         engine_load = self.engine.load
@@ -167,9 +193,6 @@ class Machine:
             if when > limit:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles:,.0f} cycles")
-            if faults.pending:
-                for fault in faults.due(when):
-                    scheme.handle_fault(fault.pid, fault.detect_time)
             if kind == _CALL:
                 a(when)
                 continue
@@ -284,16 +307,6 @@ class Machine:
                 if when > limit:
                     raise RuntimeError(
                         f"simulation exceeded {max_cycles:,.0f} cycles")
-                if faults.pending:
-                    epoch = core.epoch
-                    for fault in faults.due(when):
-                        scheme.handle_fault(fault.pid, fault.detect_time)
-                    if core.done or core.blocked is not None \
-                            or core.epoch != epoch:
-                        break  # rescheduled or retired by fault handling
-                    if when < core.not_before:
-                        self.push_core(core)
-                        break
                 now = when
         # The application finished, but background work (delayed-writeback
         # drains) may still be scheduled: let it complete so checkpoints
@@ -343,6 +356,9 @@ class Machine:
         stats.protocol_messages = self.network.protocol_messages
         stats.log_bytes = self.log.total_bytes
         stats.max_interval_log_bytes = self.log.max_interval_bytes()
+        stats.injected_faults = len(self.faults.events)
+        stats.undelivered_faults = (len(self.faults.undelivered) +
+                                    self.faults.outstanding)
         self.scheme.finalize(stats)
         stats.energy_events = dict(self.engine.energy)
         return stats

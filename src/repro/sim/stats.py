@@ -5,12 +5,17 @@ Figure 6.5 breakdown (WBDelay, WBImbalanceDelay, SyncDelay, IPCDelay),
 and every checkpoint/rollback becomes an event record so the harness can
 compute interaction-set sizes (Figures 6.1/6.2), recovery latencies
 (Figure 6.6c) and effective checkpoint intervals (Figure 6.7).
+
+Fault campaigns aggregate many seeded runs: :func:`summarize_campaign`
+folds a list of :class:`SimStats` into a :class:`CampaignSummary` with
+work-lost cycles, rollback-count / IREC-size / recovery-latency
+distributions and availability (useful core-cycles over total).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.params import MachineConfig, Scheme
 
@@ -95,6 +100,11 @@ class SimStats:
     busy_retries: int = 0
     declines: int = 0
     nacks: int = 0
+    # Fault accounting: every injected fault is either delivered to the
+    # scheme (producing a rollback) or recorded as undelivered (its
+    # detection time fell after the application finished).
+    injected_faults: int = 0
+    undelivered_faults: int = 0
     energy_events: dict[str, int] = field(default_factory=dict)
     energy_joules: float = 0.0
     baseline_energy_joules: float = 0.0
@@ -153,8 +163,31 @@ class SimStats:
 
     def mean_recovery_latency(self) -> float:
         if not self.rollbacks:
+            if self.undelivered_faults:
+                raise RuntimeError(
+                    f"{self.workload}/{self.scheme.value}: "
+                    f"{self.undelivered_faults} injected fault(s) were "
+                    f"never delivered (the application finished before "
+                    f"their detection time); refusing to report a "
+                    f"0-cycle recovery latency")
             return 0.0
         return sum(r.latency for r in self.rollbacks) / len(self.rollbacks)
+
+    def work_lost_cycles(self) -> float:
+        """Cycles of discarded execution across all rollbacks."""
+        return sum(r.wasted_cycles for r in self.rollbacks)
+
+    def availability(self) -> float:
+        """Useful core-cycles over total core-cycles (campaign metric).
+
+        Lost cycles are the work discarded by rollbacks plus the cycles
+        the recovery machinery itself kept cores away from execution.
+        """
+        total = self.runtime * self.n_cores
+        if total <= 0:
+            return 1.0
+        lost = self.work_lost_cycles() + sum(c.recovery for c in self.cores)
+        return max(0.0, 1.0 - lost / total)
 
     def mean_effective_ckpt_interval(self) -> float:
         """Average time between a core's consecutive checkpoints (Fig 6.7)."""
@@ -180,4 +213,92 @@ class SimStats:
             f"(+{self.dep_message_percent():.1f}%)",
             f"log={self.log_bytes / 1e6:.2f} MB total",
         ]
+        if self.injected_faults:
+            lines.append(
+                f"faults={self.injected_faults} "
+                f"(undelivered={self.undelivered_faults}) "
+                f"availability={100 * self.availability():.2f}%")
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# fault-campaign aggregation
+# ---------------------------------------------------------------------------
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of ``values`` (q in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
+@dataclass
+class CampaignSummary:
+    """Distributions over the seeded runs of one fault campaign."""
+
+    n_runs: int = 0
+    injected_faults: int = 0
+    delivered_faults: int = 0
+    undelivered_faults: int = 0
+    rollback_counts: list[int] = field(default_factory=list)   # per run
+    irec_sizes: list[int] = field(default_factory=list)        # per rollback
+    recovery_latencies: list[float] = field(default_factory=list)
+    work_lost: list[float] = field(default_factory=list)       # per run
+    availabilities: list[float] = field(default_factory=list)  # per run
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def n_rollbacks(self) -> int:
+        return sum(self.rollback_counts)
+
+    @property
+    def mean_rollbacks_per_run(self) -> float:
+        return self.n_rollbacks / self.n_runs if self.n_runs else 0.0
+
+    @property
+    def mean_irec_size(self) -> float:
+        if not self.irec_sizes:
+            return 0.0
+        return sum(self.irec_sizes) / len(self.irec_sizes)
+
+    @property
+    def mean_recovery_latency(self) -> float:
+        if not self.recovery_latencies:
+            return 0.0
+        return sum(self.recovery_latencies) / len(self.recovery_latencies)
+
+    def recovery_latency_percentile(self, q: float) -> float:
+        return percentile(self.recovery_latencies, q)
+
+    @property
+    def mean_work_lost(self) -> float:
+        return sum(self.work_lost) / self.n_runs if self.n_runs else 0.0
+
+    @property
+    def mean_availability(self) -> float:
+        if not self.availabilities:
+            return 1.0
+        return sum(self.availabilities) / len(self.availabilities)
+
+
+def summarize_campaign(runs: Iterable[SimStats]) -> CampaignSummary:
+    """Fold per-seed :class:`SimStats` into campaign distributions."""
+    summary = CampaignSummary()
+    for stats in runs:
+        summary.n_runs += 1
+        summary.injected_faults += stats.injected_faults
+        summary.undelivered_faults += stats.undelivered_faults
+        summary.delivered_faults += (stats.injected_faults -
+                                     stats.undelivered_faults)
+        summary.rollback_counts.append(len(stats.rollbacks))
+        summary.irec_sizes.extend(r.size for r in stats.rollbacks)
+        summary.recovery_latencies.extend(r.latency for r in stats.rollbacks)
+        summary.work_lost.append(stats.work_lost_cycles())
+        summary.availabilities.append(stats.availability())
+    return summary

@@ -29,10 +29,11 @@ def _spec(app, n_cores, config, io_every=None):
 
 
 def _run_pair(app, n_cores, scheme, io_every=None, fault_at=None,
-              quantum=DEFAULT_FUSE_QUANTUM):
+              faults=None, quantum=DEFAULT_FUSE_QUANTUM):
     config = MachineConfig.scaled(n_cores=n_cores, scheme=scheme,
                                   scale=SCALE)
-    faults = [(fault_at, 0)] if fault_at is not None else None
+    if faults is None:
+        faults = [(fault_at, 0)] if fault_at is not None else None
     unbatched = Machine(config, _spec(app, n_cores, config, io_every),
                         faults=faults, fuse_quantum=1).run()
     batched = Machine(config, _spec(app, n_cores, config, io_every),
@@ -83,6 +84,24 @@ class TestBatchedParity:
                                        fault_at=1.6 * interval)
         assert batched == unbatched
         assert batched.rollbacks  # the fault really recovered
+
+    def test_multi_fault_exact_delivery_parity(self):
+        # Faults are their own heap events, so delivery happens at the
+        # exact detection time no matter how records fuse: the batched
+        # run must match the serial one bit-for-bit, and every rollback
+        # must be pinned to an injected fault's detection time (under
+        # the old piggy-back delivery a fused core could commit work
+        # past detect_time before the scheme heard about the fault).
+        config = MachineConfig.scaled(n_cores=4, scale=SCALE)
+        interval = config.checkpoint_interval
+        faults = [(1.3 * interval, 0), (1.32 * interval, 2),
+                  (2.4 * interval, 0)]       # back-to-back + same-core
+        unbatched, batched = _run_pair("ocean", 4, Scheme.REBOUND,
+                                       faults=faults)
+        assert batched == unbatched
+        assert len(batched.rollbacks) >= 2
+        expected = {t + config.detection_latency for t, _ in faults}
+        assert {r.detect_time for r in batched.rollbacks} <= expected
 
     @pytest.mark.parametrize("quantum", [2, 3, 7, 64])
     def test_any_quantum_is_equivalent(self, quantum):

@@ -1,5 +1,7 @@
 """Tests for per-core state (snapshots, rewind) and fault injection."""
 
+import pytest
+
 from repro.sim.cores import Core
 from repro.sim.faults import FaultInjector
 
@@ -111,3 +113,32 @@ class TestFaultInjector:
         injector = FaultInjector([(1.0, 0), (2.0, 1)],
                                  detection_latency=10.0)
         assert len(injector.due(20.0)) == 2
+
+    def test_push_api_resolves_in_order(self):
+        injector = FaultInjector([(1.0, 0), (2.0, 1)],
+                                 detection_latency=10.0)
+        first, second = injector.pending
+        injector.mark_delivered(first)
+        injector.mark_undelivered(second)
+        assert injector.outstanding == 0
+        assert injector.delivered == [first]
+        assert injector.undelivered == [second]
+        assert second.undelivered and not second.detected
+
+    def test_push_api_rejects_out_of_order(self):
+        injector = FaultInjector([(1.0, 0), (2.0, 1)],
+                                 detection_latency=10.0)
+        with pytest.raises(ValueError, match="out of detection order"):
+            injector.mark_delivered(injector.pending[1])
+
+    def test_large_fault_list_drains_linearly(self):
+        # Campaign-scale lists: due() advances a cursor, never pops the
+        # head of a list (the old O(n^2) drain).
+        n = 5_000
+        injector = FaultInjector([(float(i), i % 7) for i in range(n)],
+                                 detection_latency=1.0)
+        seen = 0
+        for now in range(0, n + 2, 500):
+            seen += len(injector.due(float(now)))
+        assert seen == n
+        assert injector.outstanding == 0

@@ -1,0 +1,299 @@
+"""Fault-campaign subsystem: seeded plans, multi-fault recovery, caching.
+
+Covers the recovery edge cases the single-scripted-fault figures never
+exercised — faults during in-flight checkpoints, back-to-back faults on
+one core, faults with no safe checkpoint — plus the campaign guarantees:
+same seed => identical plan => identical ``SimStats`` whether computed
+serially, on engine workers, or replayed from the disk cache, and the
+regression that an undelivered fault can no longer masquerade as a
+0-cycle recovery.
+"""
+
+import pickle
+
+import pytest
+
+from repro.harness.engine import ExperimentEngine, RunKey, execute_run
+from repro.harness.experiments import parse_variant
+from repro.harness.runner import Runner
+from repro.params import Scheme
+from repro.sim import FaultPlan, summarize_campaign
+from repro.sim.stats import percentile
+from repro.trace import COMPUTE, END, STORE
+from tests.conftest import make_machine, tiny_config
+
+
+class TestFaultPlan:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.from_mttf(seed=7, mttf=5_000, horizon=40_000,
+                                n_cores=8)
+        b = FaultPlan.from_mttf(seed=7, mttf=5_000, horizon=40_000,
+                                n_cores=8)
+        assert a == b
+        assert repr(a) == repr(b)
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.from_mttf(seed=1, mttf=5_000, horizon=40_000,
+                                n_cores=8)
+        b = FaultPlan.from_mttf(seed=2, mttf=5_000, horizon=40_000,
+                                n_cores=8)
+        assert a != b
+
+    def test_draws_respect_horizon_and_core_range(self):
+        plan = FaultPlan.from_mttf(seed=3, mttf=2_000, horizon=30_000,
+                                   n_cores=4)
+        assert plan.n_faults > 0
+        for time, pid in plan.faults:
+            assert 0.0 < time < 30_000
+            assert 0 <= pid < 4
+        assert [t for t, _ in plan.faults] == sorted(
+            t for t, _ in plan.faults)
+
+    def test_hashable_and_picklable(self):
+        plan = FaultPlan.from_mttf(seed=5, mttf=3_000, horizon=20_000,
+                                   n_cores=4)
+        assert {plan: 1}[pickle.loads(pickle.dumps(plan))] == 1
+        key = RunKey("blackscholes", 4, Scheme.REBOUND, 1.5, 1, 300,
+                     fault_plan=plan)
+        assert pickle.loads(pickle.dumps(key)) == key
+
+    def test_single_is_compat_with_fault_at(self):
+        plan = FaultPlan.single(1234.0)
+        assert plan.faults == ((1234.0, 0),)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="mttf"):
+            FaultPlan.from_mttf(seed=1, mttf=0, horizon=100, n_cores=2)
+        with pytest.raises(ValueError, match="horizon"):
+            FaultPlan.from_mttf(seed=1, mttf=10, horizon=0, n_cores=2)
+
+    def test_refuses_silent_truncation(self):
+        # A draw that would exceed max_faults raises instead of quietly
+        # injecting a milder process than the label claims.
+        with pytest.raises(ValueError, match="max_faults"):
+            FaultPlan.from_mttf(seed=1, mttf=1.0, horizon=1_000.0,
+                                n_cores=2, max_faults=10)
+
+    def test_metadata_excluded_from_identity(self):
+        # seed/mttf are provenance only: equal faults => equal plan,
+        # equal hash and equal repr (one engine cache entry).
+        drawn = FaultPlan.from_mttf(seed=9, mttf=3_000, horizon=20_000,
+                                    n_cores=4)
+        bare = FaultPlan(drawn.faults)
+        assert bare == drawn
+        assert hash(bare) == hash(drawn)
+        assert repr(bare) == repr(drawn)
+
+    def test_fault_at_and_plan_mutually_exclusive(self):
+        key = RunKey("blackscholes", 4, Scheme.REBOUND, 1.5, 1, 300,
+                     fault_at=100.0, fault_plan=FaultPlan.single(100.0))
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            key.fault_list()
+
+
+class TestRecoveryEdgeCases:
+    def test_fault_during_inflight_checkpoint_drain(self):
+        # Rebound uses delayed writebacks: the checkpoint around cycle
+        # ~2000 drains in the background; the fault strikes inside that
+        # drain window, so the fresh (incomplete) snapshot is not safe.
+        traces = [
+            [(STORE, 1), (COMPUTE, 1990), (STORE, 2), (COMPUTE, 7000),
+             (END,)],
+            [(STORE, 9), (COMPUTE, 9000), (END,)],
+        ]
+        machine = make_machine(traces,
+                               config=tiny_config(2, Scheme.REBOUND),
+                               faults=[(2100.0, 0)])
+        stats = machine.run()
+        assert all(core.done for core in machine.cores)
+        assert len(stats.rollbacks) == 1
+        assert stats.undelivered_faults == 0
+
+    def test_back_to_back_faults_same_core(self):
+        # The second fault is detected before the first rollback's
+        # re-execution completes; both must recover, and the recovery
+        # wait must not be double-counted as discarded work.
+        traces = [
+            [(STORE, 1), (COMPUTE, 9000), (END,)],
+            [(COMPUTE, 9500), (END,)],
+        ]
+        machine = make_machine(traces,
+                               config=tiny_config(2, Scheme.REBOUND),
+                               faults=[(2500.0, 0), (2600.0, 0)])
+        stats = machine.run()
+        assert all(core.done for core in machine.cores)
+        assert len(stats.rollbacks) == 2
+        for event in stats.rollbacks:
+            # Per member, waste is bounded by the work that can have
+            # executed by detection time (the detect-time cap).
+            assert event.wasted_cycles <= event.size * event.detect_time
+        # No double-counting: only core 0 ever discards execution, and
+        # by the second detection (cycle 3000) it has executed at most
+        # 3000 cycles of discardable work in total — the second
+        # rollback must not re-charge the span the first one wrote off.
+        assert stats.work_lost_cycles() <= 3000.0
+        # Overlapping recovery windows likewise count each wall-clock
+        # cycle at most once per core.
+        for core_stats in stats.cores:
+            assert core_stats.recovery <= stats.runtime
+
+    def test_fault_with_no_safe_checkpoint_rolls_to_start(self):
+        traces = [[(STORE, 1), (COMPUTE, 1200), (END,)]]
+        machine = make_machine(traces,
+                               config=tiny_config(2, Scheme.REBOUND),
+                               faults=[(100.0, 0)])
+        stats = machine.run()
+        event = stats.rollbacks[0]
+        assert event.max_depth >= 1
+        assert machine.cores[0].instr_count == 1201  # full re-execution
+
+    def test_campaign_plan_through_machine(self):
+        plan = FaultPlan.from_mttf(seed=11, mttf=3_000, horizon=8_000,
+                                   n_cores=2)
+        traces = [[(STORE, 1), (COMPUTE, 9000), (END,)],
+                  [(STORE, 9), (COMPUTE, 9000), (END,)]]
+        machine = make_machine(traces,
+                               config=tiny_config(2, Scheme.REBOUND),
+                               faults=plan)
+        stats = machine.run()
+        assert stats.injected_faults == plan.n_faults
+        assert (len(stats.rollbacks) ==
+                stats.injected_faults - stats.undelivered_faults)
+
+
+class TestUndeliveredFaults:
+    def test_undelivered_fault_recorded_not_dropped(self):
+        # Every core finishes long before the fault's detection time.
+        machine = make_machine([[(COMPUTE, 1000), (END,)]],
+                               config=tiny_config(2, Scheme.REBOUND),
+                               faults=[(50_000.0, 0)])
+        stats = machine.run()
+        assert not stats.rollbacks
+        assert stats.injected_faults == 1
+        assert stats.undelivered_faults == 1
+        assert machine.faults.outstanding == 0
+
+    def test_mean_recovery_latency_refuses_fake_zero(self):
+        machine = make_machine([[(COMPUTE, 1000), (END,)]],
+                               config=tiny_config(2, Scheme.REBOUND),
+                               faults=[(50_000.0, 0)])
+        stats = machine.run()
+        with pytest.raises(RuntimeError, match="never delivered"):
+            stats.mean_recovery_latency()
+
+    def test_no_faults_still_reports_zero(self):
+        machine = make_machine([[(COMPUTE, 1000), (END,)]],
+                               config=tiny_config(2, Scheme.REBOUND))
+        stats = machine.run()
+        assert stats.mean_recovery_latency() == 0.0
+
+
+def _campaign_key(seed=21):
+    plan = FaultPlan.from_mttf(seed=seed, mttf=6_000, horizon=15_000,
+                               n_cores=4)
+    return RunKey("blackscholes", 4, Scheme.REBOUND, 1.5, 1, 300,
+                  fault_plan=plan)
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_same_stats(self):
+        assert execute_run(_campaign_key()) == execute_run(_campaign_key())
+
+    def test_worker_pool_matches_serial(self):
+        keys = [_campaign_key(s) for s in (31, 32)]
+        serial = ExperimentEngine(jobs=1, use_disk_cache=False)
+        parallel = ExperimentEngine(jobs=2, use_disk_cache=False)
+        a = serial.run_many(keys)
+        b = parallel.run_many(keys)
+        for key in keys:
+            assert a[key] == b[key]
+            assert a[key].injected_faults == key.fault_plan.n_faults
+
+    def test_disk_cache_replays_campaign_run(self, tmp_path):
+        key = _campaign_key()
+        writer = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                                  use_disk_cache=True)
+        first = writer.run(key)
+        reader = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                                  use_disk_cache=True)
+        second = reader.run(key)
+        assert reader.disk_hits == 1
+        assert not reader.profile          # nothing recomputed
+        assert second == first
+
+    def test_cluster_key_addresses_distinct_entry(self):
+        runner = Runner(scale=300, intervals=1.5)
+        flat = runner.key("blackscholes", 4, Scheme.REBOUND)
+        clustered = runner.key("blackscholes", 4, Scheme.REBOUND,
+                               cluster=2)
+        assert flat != clustered
+        stats = runner.run("blackscholes", 4, Scheme.REBOUND, cluster=2)
+        assert stats.config.dep_cluster_size == 2
+
+
+class TestCampaignAggregation:
+    def test_summarize_campaign(self):
+        runner = Runner(scale=300, intervals=1.5)
+        runs = [runner.run("blackscholes", 4, Scheme.REBOUND,
+                           fault_plan=FaultPlan.from_mttf(
+                               seed=s, mttf=6_000, horizon=15_000,
+                               n_cores=4))
+                for s in (41, 42)]
+        summary = summarize_campaign(runs)
+        assert summary.n_runs == 2
+        assert summary.injected_faults == sum(r.injected_faults
+                                              for r in runs)
+        assert (summary.delivered_faults + summary.undelivered_faults ==
+                summary.injected_faults)
+        assert summary.n_rollbacks == sum(len(r.rollbacks) for r in runs)
+        assert len(summary.irec_sizes) == summary.n_rollbacks
+        assert 0.0 <= summary.mean_availability <= 1.0
+        assert summary.mean_work_lost >= 0.0
+
+    def test_availability_without_faults_is_one(self):
+        runner = Runner(scale=300, intervals=1.5)
+        stats = runner.run("blackscholes", 4, Scheme.REBOUND)
+        assert stats.availability() == 1.0
+        assert stats.work_lost_cycles() == 0.0
+
+    def test_percentile(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0) == 10.0
+        assert percentile(values, 100) == 40.0
+        assert percentile(values, 50) == 25.0
+        assert percentile([], 95) == 0.0
+        assert percentile([7.0], 95) == 7.0
+
+    def test_parse_variant(self):
+        label, scheme, cluster = parse_variant("rebound@4")
+        assert scheme is Scheme.REBOUND and cluster == 4
+        assert parse_variant("global").cluster == 1
+        with pytest.raises(ValueError, match="unknown scheme"):
+            parse_variant("bogus")
+        with pytest.raises(ValueError, match="cluster size"):
+            parse_variant("rebound@0")
+
+
+class TestCampaignCli:
+    ARGS = ["campaign", "--seed", "7", "--seeds", "2", "--mttf", "1.0",
+            "--apps", "blackscholes", "--cores", "4", "--scale", "300",
+            "--intervals", "1.5"]
+
+    def test_campaign_subcommand(self, capsys, tmp_path):
+        from repro.harness.__main__ import main
+        code = main(self.ARGS + ["--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault campaign" in out
+        assert "availability" in out
+        assert "rebound" in out
+
+    def test_second_invocation_served_from_cache(self, capsys, tmp_path):
+        from repro.harness.__main__ import main
+        main(self.ARGS + ["--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        code = main(self.ARGS + ["--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 computed" in out
+        assert "from disk cache" in out
