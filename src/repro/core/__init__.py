@@ -8,7 +8,13 @@ from repro.core.dep_registers import (
     DepRegisterSet,
     mask_to_pids,
 )
-from repro.core.factory import build_scheme
+from repro.core.factory import (
+    build_scheme,
+    register_scheme,
+    registered_schemes,
+    resolve_scheme,
+    unregister_scheme,
+)
 from repro.core.global_scheme import GlobalScheme
 from repro.core.rebound_scheme import ReboundScheme
 from repro.core.rollback_protocol import IrecResult, build_irec
@@ -31,4 +37,8 @@ __all__ = [
     "ReboundScheme",
     "BarrierCheckpointCoordinator",
     "build_scheme",
+    "register_scheme",
+    "registered_schemes",
+    "resolve_scheme",
+    "unregister_scheme",
 ]

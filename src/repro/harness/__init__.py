@@ -19,10 +19,13 @@ from repro.harness.experiments import (
 )
 from repro.harness.report import format_bars, format_table, percent
 from repro.harness.runner import Runner
+from repro.harness.scenario import Overrides, SweepSpec
 
 __all__ = [
     "Runner",
     "RunKey",
+    "Overrides",
+    "SweepSpec",
     "ExperimentEngine",
     "execute_run",
     "ExperimentResult",

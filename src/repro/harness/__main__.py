@@ -27,6 +27,14 @@ Fault campaigns get their own subcommand (see ``campaign --help``)::
 
 Every campaign run is identified by its seed-deterministic fault plan,
 so repeated invocations replay from the engine's disk cache.
+
+Ad-hoc parameter sweeps over *any* machine-config axis (detection
+latency, memory timing, cache geometry, ...) get the ``sweep``
+subcommand; each ``--axis name=v1,v2,...`` adds one grid dimension and
+every grid point becomes a cached, pool-parallel engine run::
+
+    python -m repro.harness sweep --axis detection_latency=2000,10000,50000 \\
+        --apps blackscholes --cores 8 --schemes global rebound
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from repro.harness.experiments import (
 )
 from repro.harness.report import format_table
 from repro.harness.runner import Runner
+from repro.harness.scenario import SweepSpec, parse_axis
 from repro.workloads import ALL_APPS, PARSEC_APACHE, SPLASH2
 
 
@@ -110,11 +119,125 @@ def campaign_main(argv: list[str]) -> int:
     return 0
 
 
+def sweep_main(argv: list[str]) -> int:
+    """``python -m repro.harness sweep``: grid sweep over config axes.
+
+    Exercises the scenario layer end-to-end: every ``--axis`` value
+    combination becomes a ``RunKey`` with config overrides, planned as
+    one batch through the engine (process pool + persistent cache).
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness sweep",
+        description="Parameter sweep over arbitrary machine-config "
+                    "axes (e.g. --axis detection_latency=2000,10000); "
+                    "every grid point is a cached engine run.")
+    parser.add_argument("--axis", action="append", default=[],
+                        metavar="NAME=V1,V2,...",
+                        help="axis to sweep (repeatable): a scalar "
+                             "MachineConfig field (dotted nested fields "
+                             "like l1.size_bytes included) or a RunKey "
+                             "dimension (seed, intervals, io_every, "
+                             "fault_at, cluster); note 'seed' is the "
+                             "workload seed, not the back-off RNG "
+                             "config field")
+    parser.add_argument("--apps", nargs="+", default=["blackscholes"],
+                        help="workloads to sweep (default blackscholes)")
+    parser.add_argument("--cores", type=int, nargs="+", default=[8],
+                        help="processor counts to sweep")
+    parser.add_argument("--schemes", nargs="+", default=["rebound"],
+                        help="scheme variants; 'scheme@K' runs with "
+                             "Dep-register cluster size K")
+    parser.add_argument("--fault-at", type=float, default=None,
+                        help="inject one core-0 fault at this cycle")
+    parser.add_argument("--scale", type=int, default=40)
+    parser.add_argument("--intervals", type=float, default=None,
+                        help="run length in checkpoint intervals "
+                             "(default 3, or 1.5 with --quick)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny smoke-test runs (4 cores, scale 300, "
+                             "1.5 intervals)")
+    _add_engine_flags(parser)
+    args = parser.parse_args(argv)
+    if not args.axis:
+        parser.error("at least one --axis NAME=V1,V2,... is required")
+    axes: dict[str, tuple] = {}
+    for token in args.axis:
+        name, values = parse_axis(token)
+        if name in axes:
+            parser.error(f"--axis {name} given twice; merge the values "
+                         f"into one --axis {name}=v1,v2,...")
+        axes[name] = values
+    if "intervals" in axes and args.intervals is not None:
+        parser.error("--intervals conflicts with --axis intervals=...")
+    if args.quick:
+        args.cores = [4]
+        args.scale = 300
+    if args.intervals is None:
+        args.intervals = 1.5 if args.quick else 3.0
+    if "seed" in axes:
+        # The one name that is both a RunKey dimension and a config
+        # field; say which one the sweep addresses instead of silently
+        # answering a different question.
+        print("[sweep] note: axis 'seed' sweeps the workload seed "
+              "(RunKey.seed); the protocol back-off RNG seed "
+              "(MachineConfig.seed) is not CLI-sweepable", flush=True)
+    variants = tuple(parse_variant(token) for token in args.schemes)
+    if "cluster" in axes and any(v.cluster != 1 for v in variants):
+        parser.error("give the cluster size either as --schemes "
+                     "scheme@K or as --axis cluster=..., not both")
+    if "fault_at" in axes and args.fault_at is not None:
+        parser.error("--fault-at conflicts with --axis fault_at=...")
+    engine, runner = _build_engine_and_runner(args)
+    spec = SweepSpec()
+    for variant in variants:
+        base = {"scheme": variant.scheme, "app": args.apps,
+                "n_cores": args.cores}
+        if "cluster" not in axes:
+            base["cluster"] = variant.cluster
+        if "fault_at" not in axes:
+            base["fault_at"] = args.fault_at
+        spec += SweepSpec.grid(**base, **axes)
+    points = spec.keyed_points(runner)
+    print(f"[sweep] {len(axes)} axis/axes x {len(variants)} variant(s): "
+          f"{len(points)} runs, jobs={engine.jobs}, cache="
+          f"{'off' if not engine.use_disk_cache else engine.cache_dir}")
+    start = time.time()
+    runner.prefetch(key for key, _ in points)
+    axis_names = [name for name in spec.axis_names() if name in axes]
+    rows = []
+    for key, point in points:
+        stats = runner.engine.run(key)
+        # A swept cluster gets its own column; suffixing scheme@K too
+        # would print the same value twice per row.
+        rows.append([
+            point["app"], point["n_cores"],
+            point["scheme"].value + (f"@{point['cluster']}"
+                                     if point["cluster"] != 1
+                                     and "cluster" not in axes else ""),
+            *(point[name] for name in axis_names),
+            f"{stats.runtime:,.0f}",
+            len(stats.checkpoints),
+            len(stats.rollbacks),
+            f"{100 * stats.availability():.2f}%",
+        ])
+    print()
+    print(format_table(
+        ["app", "cores", "scheme", *axis_names, "runtime (cyc)",
+         "ckpts", "rollbacks", "availability"],
+        rows, title=f"Sweep over {', '.join(axis_names)}"))
+    print(f"[sweep took {time.time() - start:.1f}s: "
+          f"{len(engine.profile)} computed, {engine.disk_hits} from "
+          f"disk cache]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:  # pragma: no cover - exercised via the console
         argv = sys.argv[1:]
     if argv and argv[0] == "campaign":
         return campaign_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro.harness")
     parser.add_argument("experiments", nargs="*",
                         default=list(ALL_EXPERIMENTS),
@@ -149,6 +272,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig6_8": {"n_cores": args.cores_splash},
         "fig6_9": {"sizes": (max(4, args.cores_splash // 8),
                              max(8, args.cores_splash // 4))},
+        "fig_l_sensitivity": {"n_cores": max(4, args.cores_splash // 8)},
         "table6_1": {"splash_cores": args.cores_splash,
                      "parsec_cores": args.cores_parsec},
     }
@@ -161,6 +285,8 @@ def main(argv: list[str] | None = None) -> int:
         kwargs_by_experiment["fig6_7"]["apps"] = ["blackscholes"]
         kwargs_by_experiment["fig6_9"].update(
             {"apps": ["blackscholes"], "sizes": (4, 8), "n_seeds": 2})
+        kwargs_by_experiment["fig_l_sensitivity"].update(
+            {"apps": ["blackscholes"], "n_cores": 4})
         kwargs_by_experiment["table6_1"]["apps"] = ALL_APPS[:4]
     # Plan every requested figure up front so runs shared across figures
     # execute exactly once, in one (possibly parallel) engine batch; the

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional
 
+from repro.harness.scenario import EMPTY_OVERRIDES, Overrides
 from repro.params import MachineConfig, Scheme
 from repro.sim import SimStats
 from repro.sim.faults import FaultPlan
@@ -50,9 +51,18 @@ _PACKAGE_DIR = Path(__file__).resolve().parents[1]
 _REPO_ROOT = Path(__file__).resolve().parents[3]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class RunKey:
-    """Identity of one simulation (also the memoization/cache key)."""
+    """Identity of one simulation (also the memoization/cache key).
+
+    ``overrides`` makes *any* :class:`MachineConfig` axis sweepable:
+    a frozen, canonically-ordered mapping of config-field overrides
+    (see :mod:`repro.harness.scenario`) that ``execute_run`` applies on
+    top of ``MachineConfig.scaled``.  Field names are validated here at
+    construction — a malformed key fails at plan time, never inside a
+    pool worker.  Keys without overrides repr (and therefore cache)
+    byte-identically to the pre-scenario layout.
+    """
 
     app: str
     n_cores: int
@@ -64,14 +74,41 @@ class RunKey:
     fault_at: Optional[float] = None     # compat shim: one core-0 fault
     fault_plan: Optional[FaultPlan] = None   # seeded multi-fault campaign
     cluster: int = 1                     # Dep-register cluster size (Ch. 8)
+    overrides: Overrides = EMPTY_OVERRIDES   # MachineConfig field overrides
 
-    def fault_list(self) -> Optional[list[tuple[float, int]]]:
-        """The faults this key injects (``fault_at`` is the legacy
-        single-fault shim; a ``fault_plan`` supersedes it)."""
+    def __post_init__(self):
         if self.fault_plan is not None and self.fault_at is not None:
             raise ValueError(
                 "RunKey.fault_at and RunKey.fault_plan are mutually "
                 "exclusive; encode the single fault in the plan")
+        if not isinstance(self.overrides, Overrides):
+            # Accept plain mappings (and None) for convenience; the
+            # Overrides constructor validates the field names.
+            object.__setattr__(self, "overrides",
+                               Overrides(self.overrides or {}))
+
+    def __repr__(self) -> str:
+        # Matches the auto-generated dataclass repr of the pre-override
+        # layout exactly, appending ``overrides`` only when present: the
+        # repr is the key-layout half of the disk-cache identity (the
+        # other half, the source fingerprint, already invalidates
+        # entries on any code change), so the key layout itself must
+        # never become a second, accidental invalidation axis —
+        # tests/test_scenario.py pins both layouts as golden values so
+        # future layout changes are intentional.
+        text = (f"RunKey(app={self.app!r}, n_cores={self.n_cores!r}, "
+                f"scheme={self.scheme!r}, intervals={self.intervals!r}, "
+                f"seed={self.seed!r}, scale={self.scale!r}, "
+                f"io_every={self.io_every!r}, fault_at={self.fault_at!r}, "
+                f"fault_plan={self.fault_plan!r}, cluster={self.cluster!r}")
+        if self.overrides:
+            text += f", overrides={self.overrides!r}"
+        return text + ")"
+
+    def fault_list(self) -> Optional[list[tuple[float, int]]]:
+        """The faults this key injects (``fault_at`` is the legacy
+        single-fault shim; a ``fault_plan`` supersedes it — the two are
+        mutually exclusive, enforced at construction)."""
         if self.fault_plan is not None:
             return list(self.fault_plan.faults)
         if self.fault_at is not None:
@@ -84,6 +121,7 @@ def execute_run(key: RunKey) -> SimStats:
     config = MachineConfig.scaled(n_cores=key.n_cores, scheme=key.scheme,
                                   scale=key.scale,
                                   dep_cluster_size=key.cluster)
+    config = key.overrides.apply(config)
     workload = get_workload(key.app, key.n_cores, config,
                             intervals=key.intervals, seed=key.seed)
     if key.io_every is not None:
@@ -277,7 +315,8 @@ class ExperimentEngine:
                 f"{key.scheme.value} (io_every={key.io_every}, "
                 f"fault_at={key.fault_at}, fault_plan={key.fault_plan}, "
                 f"cluster={key.cluster}, seed={key.seed}, "
-                f"scale={key.scale})") from exc
+                f"scale={key.scale}, overrides={dict(key.overrides)})"
+                ) from exc
 
     def _announce(self, key: RunKey) -> None:
         if self.verbose:  # pragma: no cover - progress printing

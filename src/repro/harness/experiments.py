@@ -44,9 +44,11 @@ from dataclasses import dataclass, field
 from statistics import mean
 from typing import NamedTuple, Optional
 
+from repro.core.factory import resolve_scheme
 from repro.harness.engine import RunKey
 from repro.harness.report import format_bars, format_table
 from repro.harness.runner import Runner
+from repro.harness.scenario import SweepSpec
 from repro.params import LOG_ENTRY_BYTES, MachineConfig, Scheme
 from repro.power import ed2, energy_of_stats
 from repro.sim.faults import FaultPlan
@@ -406,14 +408,14 @@ CAMPAIGN_APPS = ["blackscholes", "ocean"]
 
 
 def parse_variant(token: str) -> CampaignVariant:
-    """``"rebound"`` or ``"rebound@4"`` (scheme at cluster size 4)."""
+    """``"rebound"`` or ``"rebound@4"`` (scheme at cluster size 4).
+
+    Scheme names resolve through the scheme registry, so out-of-tree
+    schemes registered via :func:`repro.core.register_scheme` work in
+    CLI scheme arguments too.
+    """
     name, _, cluster = token.partition("@")
-    try:
-        scheme = Scheme(name)
-    except ValueError:
-        raise ValueError(
-            f"unknown scheme {name!r}; known: "
-            f"{sorted(s.value for s in Scheme)}") from None
+    scheme = resolve_scheme(name)
     try:
         size = int(cluster) if cluster else 1
     except ValueError:
@@ -477,7 +479,8 @@ def fig6_9_campaign(runner: Runner, apps: list[str] | None = None,
                 f"{summary.mean_work_lost:,.0f}",
                 f"{summary.mean_rollbacks_per_run:.1f}",
                 f"{summary.mean_irec_size:.1f}",
-                f"{summary.recovery_latency_percentile(95):,.0f}",
+                (f"{summary.recovery_latency_percentile(95):,.0f}"
+                 if summary.recovery_latencies else "-"),
                 f"{summary.delivered_faults}/{summary.injected_faults}",
             ])
     return ExperimentResult(
@@ -490,6 +493,78 @@ def fig6_9_campaign(runner: Runner, apps: list[str] | None = None,
               "availability stays above Global's and its work-lost "
               "stays flat as the machine grows; cluster mode trades "
               "toward Global")
+
+
+# ---------------------------------------------------------------------------
+# L sensitivity (extension) — detection latency vs recovery cost
+# ---------------------------------------------------------------------------
+
+#: Schemes of the detection-latency sensitivity comparison.
+L_SENSITIVITY_SCHEMES = (Scheme.GLOBAL, Scheme.REBOUND)
+
+#: Detection latencies swept, as fractions of a checkpoint interval.
+#: The paper's upper bound (Section 3.2) is 500K cycles against a
+#: 4M-instruction interval, i.e. 0.125; the sweep brackets it.
+L_FRACTIONS = (0.02, 0.125, 0.5)
+
+
+def _l_values(runner: Runner, n_cores: int,
+              fractions: tuple[float, ...]) -> list[int]:
+    """The swept detection latencies, in cycles at the runner's scale."""
+    interval = _configured_interval(runner, n_cores)
+    return [max(1, int(frac * interval)) for frac in fractions]
+
+
+def fig_l_sensitivity(runner: Runner, apps: list[str] | None = None,
+                      n_cores: int = 8, n_seeds: int = 2,
+                      base_seed: int = 100, mttf_intervals: float = 1.0,
+                      l_fractions: tuple[float, ...] = L_FRACTIONS
+                      ) -> ExperimentResult:
+    """Recovery latency / availability vs detection latency L (Sec 3.2).
+
+    The fault process is held fixed (same seeded plans) while the
+    machine's detection latency sweeps across ``l_fractions`` of a
+    checkpoint interval, via a ``RunKey`` config override — the knob
+    reaches the engine without any engine code knowing about it.  A
+    larger L delays detection, so more speculative work piles up past
+    the fault and more log entries must be undone: mean recovery
+    latency is non-decreasing in L and availability erodes.
+    """
+    apps = apps if apps is not None else CAMPAIGN_APPS
+    runner.prefetch(plan_fig_l_sensitivity(
+        runner, apps, n_cores, n_seeds, base_seed, mttf_intervals,
+        l_fractions))
+    plans = _campaign_plans(runner, n_cores, n_seeds, base_seed,
+                            mttf_intervals)
+    interval = _configured_interval(runner, n_cores)
+    rows = []
+    for latency in _l_values(runner, n_cores, l_fractions):
+        for scheme in L_SENSITIVITY_SCHEMES:
+            runs = [runner.run(app, n_cores, scheme, fault_plan=plan,
+                               overrides={"detection_latency": latency})
+                    for app in apps for plan in plans]
+            summary = summarize_campaign(runs)
+            rows.append([
+                f"{latency:,}", f"{latency / interval:.3g}", scheme.value,
+                (f"{summary.mean_recovery_latency:,.0f}"
+                 if summary.recovery_latencies else "-"),
+                (f"{summary.recovery_latency_percentile(95):,.0f}"
+                 if summary.recovery_latencies else "-"),
+                f"{100 * summary.mean_availability:.2f}%",
+                f"{summary.mean_work_lost:,.0f}",
+                f"{summary.delivered_faults}/{summary.injected_faults}",
+            ])
+    return ExperimentResult(
+        f"L sensitivity (ext): detection latency sweep, {n_cores} "
+        f"processors, MTTF = {mttf_intervals:g} interval(s), "
+        f"apps={'+'.join(apps)}",
+        ["L (cyc)", "L/interval", "scheme", "mean recovery (cyc)",
+         "p95 recovery (cyc)", "availability", "work lost (cyc)",
+         "delivered"], rows,
+        notes="paper Sec 3.2: L only bounds how fresh a restorable "
+              "checkpoint can be; recovery latency grows with L while "
+              "Rebound's localized rollback keeps availability above "
+              "Global's at every L")
 
 
 # ---------------------------------------------------------------------------
@@ -533,6 +608,14 @@ def table6_1_characterization(runner: Runner,
 
 # ---------------------------------------------------------------------------
 # planners: the RunKey set each driver will request, computed up front
+#
+# Each planner is a declarative :class:`SweepSpec` — an ordered axis
+# list whose cartesian product is exactly the key set the driver
+# requests (grids union with ``+`` where a parameter depends on another
+# axis, e.g. a fault time that depends on the core count).  The specs
+# produce the same RunKeys (and therefore the same cache paths) as the
+# hand-written loop bodies they replaced; tests/test_scenario.py pins
+# that equivalence.
 # ---------------------------------------------------------------------------
 
 def _configured_interval(runner: Runner, n_cores: int) -> int:
@@ -561,110 +644,136 @@ def _io_every(runner: Runner, n_cores: int) -> int:
     return _configured_interval(runner, n_cores) // 2
 
 
-def plan_fig6_1(runner: Runner, n_cores: int = 24,
-                apps: list[str] | None = None) -> list[RunKey]:
+def _per_app_cores_spec(apps: list[str], splash_cores: int,
+                        parsec_cores: int, schemes) -> SweepSpec:
+    """One grid per app (SPLASH-2 and PARSEC run at different sizes)."""
+    return sum((SweepSpec.grid(
+        app=app,
+        n_cores=splash_cores if app in SPLASH2 else parsec_cores,
+        scheme=schemes) for app in apps), SweepSpec())
+
+
+def spec_fig6_1(runner: Runner, n_cores: int = 24,
+                apps: list[str] | None = None) -> SweepSpec:
     apps = apps if apps is not None else PARSEC_APACHE
-    return [runner.key(app, n_cores, Scheme.REBOUND) for app in apps]
+    return SweepSpec.grid(app=apps, n_cores=n_cores, scheme=Scheme.REBOUND)
 
 
-def plan_fig6_2(runner: Runner, sizes: tuple[int, ...] = (32, 64),
-                apps: list[str] | None = None) -> list[RunKey]:
+def spec_fig6_2(runner: Runner, sizes: tuple[int, ...] = (32, 64),
+                apps: list[str] | None = None) -> SweepSpec:
     apps = apps if apps is not None else SPLASH2
-    return [runner.key(app, n, Scheme.REBOUND)
-            for app in apps for n in sizes]
+    return SweepSpec.grid(app=apps, n_cores=list(sizes),
+                          scheme=Scheme.REBOUND)
 
 
-def plan_fig6_3(runner: Runner, apps: list[str] | None = None,
-                n_cores: int = 64, suite: str = "SPLASH-2") -> list[RunKey]:
+def spec_fig6_3(runner: Runner, apps: list[str] | None = None,
+                n_cores: int = 64, suite: str = "SPLASH-2") -> SweepSpec:
     apps = apps if apps is not None else SPLASH2
-    schemes = (*OVERHEAD_SCHEMES, Scheme.NONE)
-    return [runner.key(app, n_cores, scheme)
-            for app in apps for scheme in schemes]
+    return SweepSpec.grid(app=apps, scheme=(*OVERHEAD_SCHEMES, Scheme.NONE),
+                          n_cores=n_cores)
 
 
-def plan_fig6_4(runner: Runner, apps: list[str] | None = None,
-                n_cores: int = 64) -> list[RunKey]:
+def spec_fig6_4(runner: Runner, apps: list[str] | None = None,
+                n_cores: int = 64) -> SweepSpec:
     apps = apps if apps is not None else BARRIER_INTENSIVE
-    schemes = (*BARRIER_SCHEMES, Scheme.NONE)
-    return [runner.key(app, n_cores, scheme)
-            for app in apps for scheme in schemes]
+    return SweepSpec.grid(app=apps, scheme=(*BARRIER_SCHEMES, Scheme.NONE),
+                          n_cores=n_cores)
 
 
-def plan_fig6_5(runner: Runner, apps: list[str] | None = None,
+def spec_fig6_5(runner: Runner, apps: list[str] | None = None,
                 splash_cores: int = 64,
-                parsec_cores: int = 24) -> list[RunKey]:
+                parsec_cores: int = 24) -> SweepSpec:
     apps = apps if apps is not None else ALL_APPS
-    keys = []
-    for app in apps:
-        n_cores = splash_cores if app in SPLASH2 else parsec_cores
-        keys.extend(runner.key(app, n_cores, scheme)
-                    for scheme in BREAKDOWN_SCHEMES)
-    return keys
+    return _per_app_cores_spec(apps, splash_cores, parsec_cores,
+                               BREAKDOWN_SCHEMES)
 
 
-def plan_fig6_6(runner: Runner, apps: list[str] | None = None,
-                sizes: tuple[int, ...] = (16, 32, 64)) -> list[RunKey]:
+def spec_fig6_6(runner: Runner, apps: list[str] | None = None,
+                sizes: tuple[int, ...] = (16, 32, 64)) -> SweepSpec:
     apps = apps if apps is not None else SPLASH2
     recovery_apps = apps[:5]
-    keys = []
+    spec = SweepSpec()
     for n_cores in sizes:
-        fault_at = _recovery_fault_at(runner, n_cores)
-        for scheme in SCALABILITY_SCHEMES:
-            for app in apps:
-                keys.append(runner.key(app, n_cores, scheme))
-                keys.append(runner.key(app, n_cores, Scheme.NONE))
-                if app in recovery_apps:
-                    keys.append(runner.key(app, n_cores, scheme,
-                                           fault_at=fault_at))
-    return keys
+        spec += SweepSpec.grid(
+            n_cores=n_cores, scheme=(*SCALABILITY_SCHEMES, Scheme.NONE),
+            app=apps)
+        spec += SweepSpec.grid(
+            n_cores=n_cores, scheme=SCALABILITY_SCHEMES, app=recovery_apps,
+            fault_at=_recovery_fault_at(runner, n_cores))
+    return spec
 
 
-def plan_fig6_7(runner: Runner, apps: list[str] | None = None,
-                n_cores: int = 64) -> list[RunKey]:
+def spec_fig6_7(runner: Runner, apps: list[str] | None = None,
+                n_cores: int = 64) -> SweepSpec:
     apps = apps if apps is not None else LOW_ICHK
-    io_every = _io_every(runner, n_cores)
-    keys = []
-    for app in apps:
-        for scheme in (Scheme.GLOBAL, Scheme.REBOUND):
-            keys.append(runner.key(app, n_cores, scheme,
-                                   io_every=io_every))
-            keys.append(runner.key(app, n_cores, scheme))
-    return keys
+    return SweepSpec.grid(app=apps, scheme=(Scheme.GLOBAL, Scheme.REBOUND),
+                          io_every=[_io_every(runner, n_cores), None],
+                          n_cores=n_cores)
 
 
-def plan_fig6_8(runner: Runner, apps: list[str] | None = None,
-                n_cores: int = 64) -> list[RunKey]:
+def spec_fig6_8(runner: Runner, apps: list[str] | None = None,
+                n_cores: int = 64) -> SweepSpec:
     apps = apps if apps is not None else SPLASH2
-    return [runner.key(app, n_cores, scheme)
-            for scheme in POWER_SCHEMES for app in apps]
+    return SweepSpec.grid(scheme=POWER_SCHEMES, app=apps, n_cores=n_cores)
 
 
-def plan_fig6_9(runner: Runner, apps: list[str] | None = None,
+def spec_fig6_9(runner: Runner, apps: list[str] | None = None,
                 sizes: tuple[int, ...] = (8, 16),
                 variants: tuple[CampaignVariant, ...] = CAMPAIGN_VARIANTS,
                 n_seeds: int = 3, base_seed: int = 100,
-                mttf_intervals: float = 1.0) -> list[RunKey]:
+                mttf_intervals: float = 1.0) -> SweepSpec:
     apps = apps if apps is not None else CAMPAIGN_APPS
-    keys = []
-    for n_cores in sizes:
-        plans = _campaign_plans(runner, n_cores, n_seeds, base_seed,
-                                mttf_intervals)
-        for variant in variants:
-            for app in apps:
-                keys.extend(
-                    runner.key(app, n_cores, variant.scheme,
-                               fault_plan=plan, cluster=variant.cluster)
-                    for plan in plans)
-    return keys
+    return sum((SweepSpec.grid(
+        n_cores=n_cores, scheme=variant.scheme, cluster=variant.cluster,
+        app=apps,
+        fault_plan=_campaign_plans(runner, n_cores, n_seeds, base_seed,
+                                   mttf_intervals))
+        for n_cores in sizes for variant in variants), SweepSpec())
 
 
-def plan_table6_1(runner: Runner, apps: list[str] | None = None,
+def spec_fig_l_sensitivity(runner: Runner, apps: list[str] | None = None,
+                           n_cores: int = 8, n_seeds: int = 2,
+                           base_seed: int = 100,
+                           mttf_intervals: float = 1.0,
+                           l_fractions: tuple[float, ...] = L_FRACTIONS
+                           ) -> SweepSpec:
+    apps = apps if apps is not None else CAMPAIGN_APPS
+    return SweepSpec.grid(
+        n_cores=n_cores,
+        detection_latency=_l_values(runner, n_cores, l_fractions),
+        scheme=list(L_SENSITIVITY_SCHEMES), app=apps,
+        fault_plan=_campaign_plans(runner, n_cores, n_seeds, base_seed,
+                                   mttf_intervals))
+
+
+def spec_table6_1(runner: Runner, apps: list[str] | None = None,
                   splash_cores: int = 64,
-                  parsec_cores: int = 24) -> list[RunKey]:
+                  parsec_cores: int = 24) -> SweepSpec:
     apps = apps if apps is not None else ALL_APPS
-    return [runner.key(app,
-                       splash_cores if app in SPLASH2 else parsec_cores,
-                       Scheme.REBOUND) for app in apps]
+    return _per_app_cores_spec(apps, splash_cores, parsec_cores,
+                               Scheme.REBOUND)
+
+
+def _keys_of(spec_fn):
+    """A ``plan_*`` function (RunKey list) from a ``spec_*`` function."""
+    def planner(runner: Runner, *args, **kwargs) -> list[RunKey]:
+        return spec_fn(runner, *args, **kwargs).keys(runner)
+    planner.__name__ = spec_fn.__name__.replace("spec_", "plan_")
+    planner.__doc__ = spec_fn.__doc__
+    return planner
+
+
+plan_fig6_1 = _keys_of(spec_fig6_1)
+plan_fig6_2 = _keys_of(spec_fig6_2)
+plan_fig6_3 = _keys_of(spec_fig6_3)
+plan_fig6_4 = _keys_of(spec_fig6_4)
+plan_fig6_5 = _keys_of(spec_fig6_5)
+plan_fig6_6 = _keys_of(spec_fig6_6)
+plan_fig6_7 = _keys_of(spec_fig6_7)
+plan_fig6_8 = _keys_of(spec_fig6_8)
+plan_fig6_9 = _keys_of(spec_fig6_9)
+plan_fig_l_sensitivity = _keys_of(spec_fig_l_sensitivity)
+plan_table6_1 = _keys_of(spec_table6_1)
 
 
 ALL_PLANS = {
@@ -677,6 +786,7 @@ ALL_PLANS = {
     "fig6_7": plan_fig6_7,
     "fig6_8": plan_fig6_8,
     "fig6_9": plan_fig6_9,
+    "fig_l_sensitivity": plan_fig_l_sensitivity,
     "table6_1": plan_table6_1,
 }
 
@@ -703,6 +813,7 @@ ALL_EXPERIMENTS = {
     "fig6_7": fig6_7_io,
     "fig6_8": fig6_8_power,
     "fig6_9": fig6_9_campaign,
+    "fig_l_sensitivity": fig_l_sensitivity,
     "table6_1": table6_1_characterization,
 }
 

@@ -12,9 +12,10 @@ work unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Any, Iterable, Mapping, Optional
 
 from repro.harness.engine import ExperimentEngine, RunKey
+from repro.harness.scenario import EMPTY_OVERRIDES
 from repro.params import Scheme
 from repro.sim import SimStats
 from repro.sim.faults import FaultPlan
@@ -51,12 +52,17 @@ class Runner:
             fault_at: Optional[float] = None,
             intervals: Optional[float] = None,
             fault_plan: Optional[FaultPlan] = None,
-            cluster: int = 1) -> RunKey:
+            cluster: int = 1,
+            seed: Optional[int] = None,
+            overrides: Optional[Mapping[str, Any]] = None) -> RunKey:
         """The :class:`RunKey` a ``run()`` with these arguments uses."""
         return RunKey(app, n_cores, scheme,
                       intervals if intervals is not None else self.intervals,
-                      self.seed, self.scale, io_every, fault_at,
-                      fault_plan, cluster)
+                      seed if seed is not None else self.seed,
+                      self.scale, io_every, fault_at,
+                      fault_plan, cluster,
+                      overrides if overrides is not None
+                      else EMPTY_OVERRIDES)
 
     def prefetch(self, keys: Iterable[RunKey]) -> None:
         """Plan ahead: execute ``keys`` (deduplicated, possibly in
@@ -68,10 +74,13 @@ class Runner:
             fault_at: Optional[float] = None,
             intervals: Optional[float] = None,
             fault_plan: Optional[FaultPlan] = None,
-            cluster: int = 1) -> SimStats:
+            cluster: int = 1,
+            seed: Optional[int] = None,
+            overrides: Optional[Mapping[str, Any]] = None) -> SimStats:
         return self.engine.run(self.key(app, n_cores, scheme,
                                         io_every, fault_at, intervals,
-                                        fault_plan, cluster))
+                                        fault_plan, cluster, seed,
+                                        overrides))
 
     def baseline(self, app: str, n_cores: int, **kw) -> SimStats:
         return self.run(app, n_cores, Scheme.NONE, **kw)

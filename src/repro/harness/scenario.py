@@ -1,0 +1,373 @@
+"""Scenario layer: sweepable config overrides and declarative sweeps.
+
+Before this module, a :class:`~repro.harness.engine.RunKey` could only
+vary the handful of dimensions it hard-codes (app, cores, scheme, ...);
+every other :class:`~repro.params.MachineConfig` knob — detection
+latency L, memory timing, channel count, cache geometry — was frozen
+out of the engine, so sweeping one meant touching engine code.
+
+Two pieces fix that:
+
+* :class:`Overrides` — a frozen, hashable, canonically-ordered mapping
+  of ``MachineConfig`` field overrides that rides inside ``RunKey``.
+  Field names are validated at construction time (including dotted
+  nested fields such as ``l1.size_bytes``), values must be hashable,
+  and the repr is deterministic, so overridden runs cache on disk
+  exactly like plain ones.
+
+* :class:`SweepSpec` — a declarative grid builder: ordered axis lists
+  expanded into a cartesian product of ``RunKey``s.  Axes named after
+  ``RunKey`` dimensions feed the key directly; any other axis becomes a
+  config override.  Grids union with ``+``, which is how the figure
+  planners express per-size fault parameters and paired axes.
+
+``parse_axis`` / ``coerce_value`` adapt ``--axis name=v1,v2,...``
+command-line tokens to typed override values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Iterator, Mapping, Optional, Sequence
+
+from repro.params import MachineConfig
+
+__all__ = ["Overrides", "SweepSpec", "parse_axis", "coerce_value",
+           "RESERVED_OVERRIDE_FIELDS", "RUNKEY_AXES"]
+
+#: MachineConfig fields owned by ``RunKey`` itself; overriding them via
+#: ``overrides`` would create two cache identities for the same run.
+RESERVED_OVERRIDE_FIELDS = {
+    "n_cores": "RunKey.n_cores",
+    "scheme": "RunKey.scheme",
+    "dep_cluster_size": "RunKey.cluster",
+}
+
+#: A default-constructed config, used to validate override field names
+#: and to coerce CLI axis values to the fields' types.
+_DEFAULT_CONFIG = MachineConfig()
+
+
+def _resolve_field(name: str) -> Any:
+    """The default value behind ``name`` (raises ValueError if the name
+    is not an overridable ``MachineConfig`` field).
+
+    ``name`` is either a top-level field (``detection_latency``) or a
+    single-level dotted path into a nested config dataclass
+    (``l1.size_bytes``).
+    """
+    parent_name, dot, sub_name = name.partition(".")
+    if parent_name in RESERVED_OVERRIDE_FIELDS:
+        raise ValueError(
+            f"config field {parent_name!r} is owned by "
+            f"{RESERVED_OVERRIDE_FIELDS[parent_name]}; set it there "
+            f"instead of via overrides")
+    fields = {f.name: f for f in dataclasses.fields(MachineConfig)}
+    if parent_name not in fields:
+        raise ValueError(
+            f"unknown config field {parent_name!r}; overridable fields: "
+            f"{sorted(set(fields) - set(RESERVED_OVERRIDE_FIELDS))}")
+    parent_value = getattr(_DEFAULT_CONFIG, parent_name)
+    if not dot:
+        return parent_value
+    if not dataclasses.is_dataclass(parent_value):
+        raise ValueError(
+            f"config field {parent_name!r} is not a nested config; "
+            f"{name!r} cannot be overridden")
+    sub_fields = {f.name for f in dataclasses.fields(parent_value)}
+    if sub_name not in sub_fields:
+        raise ValueError(
+            f"unknown field {sub_name!r} of config.{parent_name}; "
+            f"known: {sorted(sub_fields)}")
+    return getattr(parent_value, sub_name)
+
+
+def _validate_value(name: str, current: Any, value: Any) -> None:
+    """Reject a value whose type cannot replace the field's default —
+    a wrongly-typed override must fail here, at plan time, not as an
+    arithmetic TypeError deep inside a pool worker."""
+    if isinstance(current, bool):
+        ok = isinstance(value, bool)
+    elif isinstance(current, int):
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif isinstance(current, float):
+        ok = (isinstance(value, (int, float))
+              and not isinstance(value, bool))
+    else:
+        ok = isinstance(value, type(current))
+    if not ok:
+        raise ValueError(
+            f"override {name}={value!r}: expected "
+            f"{type(current).__name__}, got {type(value).__name__}")
+
+
+class Overrides(Mapping):
+    """Frozen, hashable, canonically-ordered ``MachineConfig`` overrides.
+
+    Construct from a mapping and/or keyword arguments::
+
+        Overrides(detection_latency=10_000)
+        Overrides({"l1.size_bytes": 2048, "memory_cycles": 80})
+
+    Unknown field names, wrongly-typed values and unhashable values
+    raise ``ValueError`` at construction — a malformed scenario fails at
+    plan time, never inside a pool worker.  Items are stored sorted by
+    name, so two ``Overrides`` built from differently-ordered mappings
+    are equal, hash alike and repr alike (the repr feeds the disk-cache
+    path).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, mapping: Optional[Mapping[str, Any]] = None,
+                 **fields: Any):
+        merged: dict[str, Any] = dict(mapping or {})
+        merged.update(fields)
+        for name, value in merged.items():
+            _validate_value(name, _resolve_field(name), value)
+            try:
+                hash(value)
+            except TypeError:
+                raise ValueError(
+                    f"override {name}={value!r} is not hashable; "
+                    f"RunKey overrides must be cache-key material") \
+                    from None
+        object.__setattr__(self, "_items",
+                           tuple(sorted(merged.items())))
+
+    # -- frozen mapping ----------------------------------------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Overrides is immutable")
+
+    def __getitem__(self, name: str) -> Any:
+        for key, value in self._items:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(name for name, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Overrides):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self._items) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Overrides({{{', '.join(f'{n!r}: {v!r}' for n, v in self._items)}}})"
+
+    def __reduce__(self):
+        return (Overrides, (dict(self._items),))
+
+    # -- application -------------------------------------------------------
+    def apply(self, config: MachineConfig) -> MachineConfig:
+        """``config`` with these overrides applied (nested fields via a
+        nested ``dataclasses.replace``)."""
+        if not self._items:
+            return config
+        flat: dict[str, Any] = {}
+        nested: dict[str, dict[str, Any]] = {}
+        for name, value in self._items:
+            parent, dot, sub = name.partition(".")
+            if dot:
+                nested.setdefault(parent, {})[sub] = value
+            else:
+                flat[name] = value
+        for parent, subs in nested.items():
+            base = flat.get(parent, getattr(config, parent))
+            flat[parent] = dataclasses.replace(base, **subs)
+        return dataclasses.replace(config, **flat)
+
+
+#: The one shared empty-overrides instance (the ``RunKey`` default).
+EMPTY_OVERRIDES = Overrides()
+
+
+# ---------------------------------------------------------------------------
+# CLI axis parsing
+# ---------------------------------------------------------------------------
+
+def coerce_value(name: str, text: str) -> Any:
+    """Parse an axis value string to the type of config field ``name``
+    (the target type comes from the field's default value)."""
+    current = _resolve_field(name)
+    if isinstance(current, bool):
+        if text.lower() in ("1", "true", "yes", "on"):
+            return True
+        if text.lower() in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"axis {name}: {text!r} is not a boolean")
+    if isinstance(current, int):
+        return int(text)
+    if isinstance(current, float):
+        return float(text)
+    if isinstance(current, str):
+        return text
+    # Nested configs (l1, l2) and any future non-scalar field cannot be
+    # parsed from a CLI token; keeping the raw string would only crash
+    # deep inside a pool worker.
+    raise ValueError(
+        f"config field {name!r} ({type(current).__name__}) cannot be "
+        f"swept from the command line; sweep its scalar subfields "
+        f"instead (e.g. {name}.size_bytes)")
+
+
+#: RunKey dimensions sweepable via ``--axis`` and their value types
+#: (``app``/``n_cores``/``scheme`` have dedicated CLI flags instead).
+CLI_RUNKEY_AXIS_TYPES = {"seed": int, "intervals": float,
+                         "io_every": int, "fault_at": float,
+                         "cluster": int}
+
+_DEDICATED_FLAGS = {"app": "--apps", "n_cores": "--cores",
+                    "scheme": "--schemes"}
+
+
+def parse_axis(token: str) -> tuple[str, tuple[Any, ...]]:
+    """``"detection_latency=2000,10000,50000"`` -> (name, typed values).
+
+    ``name`` is a scalar config field (dotted nested fields included)
+    or one of the :data:`CLI_RUNKEY_AXIS_TYPES` RunKey dimensions.
+    """
+    name, eq, values = token.partition("=")
+    name = name.strip()
+    if not eq or not values.strip():
+        raise ValueError(
+            f"axis {token!r} must look like name=value[,value...]")
+    if name in _DEDICATED_FLAGS:
+        raise ValueError(
+            f"axis {name!r} has its own flag: use "
+            f"{_DEDICATED_FLAGS[name]} instead of --axis")
+    parsed = []
+    for text in values.split(","):
+        text = text.strip()
+        try:
+            if name in CLI_RUNKEY_AXIS_TYPES:
+                parsed.append(CLI_RUNKEY_AXIS_TYPES[name](text))
+            else:
+                parsed.append(coerce_value(name, text))
+        except ValueError as exc:
+            # Name the failing axis: with several --axis flags a bare
+            # "invalid literal" leaves the user guessing which one.
+            raise ValueError(f"axis {name}: {exc}") from None
+    return name, tuple(parsed)
+
+
+# ---------------------------------------------------------------------------
+# sweep specification
+# ---------------------------------------------------------------------------
+
+#: RunKey dimensions a sweep axis can address directly (everything else
+#: becomes a config override).  ``app``, ``n_cores`` and ``scheme`` are
+#: mandatory in every grid.  Note ``seed`` here is the *workload* seed
+#: (``RunKey.seed``); the protocol back-off RNG seed is the config
+#: field and sweeps via an ``Overrides({"seed": ...})`` mapping.
+RUNKEY_AXES = ("app", "n_cores", "scheme", "intervals", "seed",
+               "io_every", "fault_at", "fault_plan", "cluster")
+
+_REQUIRED_AXES = ("app", "n_cores", "scheme")
+
+
+def _axis_values(value: Any) -> tuple[Any, ...]:
+    """Normalize one axis: a list/tuple sweeps, anything else is a
+    single-value axis (strings and FaultPlans are scalars)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
+
+
+class SweepSpec:
+    """A union of declarative axis grids, expanded into ``RunKey``s.
+
+    ``SweepSpec.grid(app=apps, scheme=schemes, n_cores=64)`` enumerates
+    the cartesian product in axis order (first axis outermost, exactly
+    like the nested ``for`` loops it replaces).  ``spec_a + spec_b``
+    concatenates grids, which expresses per-size parameters (a fault
+    time that depends on the core count) as a sum of grids.
+    """
+
+    __slots__ = ("_grids",)
+
+    def __init__(self, grids: Sequence[tuple[tuple[str, tuple[Any, ...]],
+                                             ...]] = ()):
+        self._grids = tuple(grids)
+
+    @classmethod
+    def grid(cls, **axes: Any) -> "SweepSpec":
+        """One grid: each keyword is an axis (scalar or list of values)."""
+        for required in _REQUIRED_AXES:
+            if required not in axes:
+                raise ValueError(
+                    f"SweepSpec.grid needs the {required!r} axis "
+                    f"(got {sorted(axes)})")
+        for name in axes:
+            if name not in RUNKEY_AXES:
+                _resolve_field(name)   # fail at plan time, loudly
+        return cls((tuple((name, _axis_values(value))
+                          for name, value in axes.items()),))
+
+    def __add__(self, other: "SweepSpec") -> "SweepSpec":
+        if not isinstance(other, SweepSpec):
+            return NotImplemented
+        return SweepSpec(self._grids + other._grids)
+
+    def __radd__(self, other: Any) -> "SweepSpec":
+        if other == 0:          # support sum(specs)
+            return self
+        return NotImplemented
+
+    def __bool__(self) -> bool:
+        return bool(self._grids)
+
+    @property
+    def n_points(self) -> int:
+        total = 0
+        for grid in self._grids:
+            n = 1
+            for _, values in grid:
+                n *= len(values)
+            total += n
+        return total
+
+    def axis_names(self) -> list[str]:
+        """Every axis name appearing in any grid, in first-seen order."""
+        names: dict[str, None] = {}
+        for grid in self._grids:
+            for name, _ in grid:
+                names.setdefault(name)
+        return list(names)
+
+    def points(self) -> Iterator[dict[str, Any]]:
+        """Every grid point as an axis-name -> value dict."""
+        for grid in self._grids:
+            names = [name for name, _ in grid]
+            for combo in itertools.product(*(values for _, values in grid)):
+                yield dict(zip(names, combo))
+
+    def keyed_points(self, runner) -> list[tuple[Any, dict[str, Any]]]:
+        """``(RunKey, point)`` pairs for every grid point (in order)."""
+        out = []
+        for point in self.points():
+            key_kwargs = {name: value for name, value in point.items()
+                          if name in RUNKEY_AXES}
+            overrides = {name: value for name, value in point.items()
+                         if name not in RUNKEY_AXES}
+            app = key_kwargs.pop("app")
+            n_cores = key_kwargs.pop("n_cores")
+            scheme = key_kwargs.pop("scheme")
+            key = runner.key(app, n_cores, scheme,
+                             overrides=overrides or None, **key_kwargs)
+            out.append((key, point))
+        return out
+
+    def keys(self, runner) -> list[Any]:
+        """The planned ``RunKey`` list (cartesian product per grid)."""
+        return [key for key, _ in self.keyed_points(runner)]

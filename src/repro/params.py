@@ -57,6 +57,29 @@ class Scheme(enum.Enum):
 
 
 @dataclass(frozen=True)
+class SchemeTag:
+    """Scheme identity for out-of-tree checkpointing schemes.
+
+    The built-in schemes are :class:`Scheme` enum members; experimental
+    schemes registered through :func:`repro.core.factory.register_scheme`
+    get a ``SchemeTag`` instead — a frozen, picklable value exposing the
+    same policy properties the simulator reads off ``config.scheme``
+    (``value``, ``is_local``, ``delayed_writebacks``,
+    ``barrier_optimization``, ``tracks_dependences``), so it can sit in
+    a :class:`MachineConfig` or a ``RunKey`` like any enum member.
+    """
+
+    value: str
+    is_local: bool = False
+    delayed_writebacks: bool = False
+    barrier_optimization: bool = False
+
+    @property
+    def tracks_dependences(self) -> bool:
+        return self.is_local
+
+
+@dataclass(frozen=True)
 class CacheConfig:
     """Geometry and timing of one cache level."""
 

@@ -14,6 +14,7 @@ distributions and availability (useful core-cycles over total).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -226,9 +227,17 @@ class SimStats:
 # ---------------------------------------------------------------------------
 
 def percentile(values: list[float], q: float) -> float:
-    """Linear-interpolated percentile of ``values`` (q in [0, 100])."""
+    """Linear-interpolated percentile of ``values`` (q in [0, 100]).
+
+    An empty input has no percentiles: the result is ``math.nan``, so a
+    fault-free campaign cell can never masquerade as a 0-cycle recovery
+    (callers display it explicitly, e.g. as ``-``).  A ``q`` outside
+    [0, 100] is a caller bug and raises.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
     if not values:
-        return 0.0
+        return math.nan
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -274,6 +283,7 @@ class CampaignSummary:
         return sum(self.recovery_latencies) / len(self.recovery_latencies)
 
     def recovery_latency_percentile(self, q: float) -> float:
+        """``math.nan`` when no recovery happened in the campaign."""
         return percentile(self.recovery_latencies, q)
 
     @property

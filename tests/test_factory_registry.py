@@ -1,0 +1,106 @@
+"""Tests for the pluggable scheme registry (repro.core.factory)."""
+
+import pytest
+
+from repro.core import (
+    NoCheckpointScheme,
+    register_scheme,
+    registered_schemes,
+    resolve_scheme,
+    unregister_scheme,
+)
+from repro.harness.engine import ExperimentEngine, RunKey, execute_run
+from repro.harness.experiments import parse_variant
+from repro.params import Scheme, SchemeTag
+from repro.sim import SimStats
+
+
+class ToyScheme(NoCheckpointScheme):
+    """A registered out-of-tree scheme (checkpoint-free, but its own)."""
+
+
+@pytest.fixture()
+def toy_scheme():
+    tag = register_scheme("toy", ToyScheme)
+    yield tag
+    unregister_scheme("toy")
+
+
+class TestRegistry:
+    def test_builtins_registered_from_enum(self):
+        assert set(registered_schemes()) >= {s.value for s in Scheme}
+
+    def test_resolve_builtin_returns_enum_member(self):
+        assert resolve_scheme("rebound") is Scheme.REBOUND
+        assert resolve_scheme("none") is Scheme.NONE
+
+    def test_resolve_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme 'bogus'"):
+            resolve_scheme("bogus")
+
+    def test_register_returns_tag(self, toy_scheme):
+        assert isinstance(toy_scheme, SchemeTag)
+        assert toy_scheme.value == "toy"
+        assert not toy_scheme.is_local
+        assert not toy_scheme.tracks_dependences
+        assert resolve_scheme("toy") is toy_scheme
+
+    def test_duplicate_name_rejected(self, toy_scheme):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheme("toy", ToyScheme)
+        # ... unless explicitly replaced.
+        tag = register_scheme("toy", ToyScheme, replace=True,
+                              is_local=True)
+        assert tag.is_local
+
+    def test_builtin_name_never_replaced(self):
+        # The built-in diagnosis wins over the generic duplicate one:
+        # it must not suggest replace=True, which could never work.
+        with pytest.raises(ValueError, match="built-in"):
+            register_scheme("rebound", ToyScheme)
+        with pytest.raises(ValueError, match="built-in"):
+            register_scheme("rebound", ToyScheme, replace=True)
+
+    def test_unregister_guards(self, toy_scheme):
+        with pytest.raises(ValueError, match="built-in"):
+            unregister_scheme("rebound")
+        with pytest.raises(KeyError):
+            unregister_scheme("never-registered")
+
+
+class TestToySchemeThroughEngine:
+    def test_runs_through_a_runkey_scenario(self, toy_scheme):
+        # The tag rides inside a RunKey (with a config override for good
+        # measure) and the engine builds the registered class — no
+        # engine or factory code knows about "toy".
+        key = RunKey("blackscholes", 4, toy_scheme, 1.5, 1, 300,
+                     overrides={"detection_latency": 5_000})
+        stats = execute_run(key)
+        assert isinstance(stats, SimStats)
+        assert stats.config.scheme is toy_scheme
+        assert stats.config.detection_latency == 5_000
+        assert stats.runtime > 0
+        assert not stats.checkpoints        # toy scheme never checkpoints
+
+    def test_memoizes_like_any_scheme(self, toy_scheme):
+        eng = ExperimentEngine(jobs=1, use_disk_cache=False)
+        key = RunKey("blackscholes", 4, toy_scheme, 1.5, 1, 300)
+        assert eng.run(key) is eng.run(key)
+        assert len(eng.profile) == 1
+
+    def test_unregistered_scheme_fails_loudly(self):
+        tag = SchemeTag("ghost")
+        key = RunKey("blackscholes", 4, tag, 1.5, 1, 300)
+        with pytest.raises(ValueError, match="unknown scheme"):
+            execute_run(key)
+
+
+class TestCliTokens:
+    def test_parse_variant_resolves_registered_scheme(self, toy_scheme):
+        variant = parse_variant("toy@2")
+        assert variant.scheme is toy_scheme
+        assert variant.cluster == 2
+
+    def test_parse_variant_still_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            parse_variant("bogus")

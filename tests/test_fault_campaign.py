@@ -9,6 +9,7 @@ regression that an undelivered fault can no longer masquerade as a
 0-cycle recovery.
 """
 
+import math
 import pickle
 
 import pytest
@@ -85,10 +86,11 @@ class TestFaultPlan:
         assert repr(bare) == repr(drawn)
 
     def test_fault_at_and_plan_mutually_exclusive(self):
-        key = RunKey("blackscholes", 4, Scheme.REBOUND, 1.5, 1, 300,
-                     fault_at=100.0, fault_plan=FaultPlan.single(100.0))
+        # Validated at construction (plan time), not inside fault_list()
+        # in a pool worker.
         with pytest.raises(ValueError, match="mutually exclusive"):
-            key.fault_list()
+            RunKey("blackscholes", 4, Scheme.REBOUND, 1.5, 1, 300,
+                   fault_at=100.0, fault_plan=FaultPlan.single(100.0))
 
 
 class TestRecoveryEdgeCases:
@@ -261,8 +263,12 @@ class TestCampaignAggregation:
         assert percentile(values, 0) == 10.0
         assert percentile(values, 100) == 40.0
         assert percentile(values, 50) == 25.0
-        assert percentile([], 95) == 0.0
+        assert math.isnan(percentile([], 95))
         assert percentile([7.0], 95) == 7.0
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile(values, 101)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile(values, -0.5)
 
     def test_parse_variant(self):
         label, scheme, cluster = parse_variant("rebound@4")

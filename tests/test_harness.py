@@ -75,7 +75,8 @@ class TestDrivers:
     def test_all_experiments_registered(self):
         assert set(ALL_EXPERIMENTS) == {
             "fig6_1", "fig6_2", "fig6_3", "fig6_4", "fig6_5",
-            "fig6_6", "fig6_7", "fig6_8", "fig6_9", "table6_1"}
+            "fig6_6", "fig6_7", "fig6_8", "fig6_9",
+            "fig_l_sensitivity", "table6_1"}
 
 
 class TestReport:

@@ -55,6 +55,62 @@ class TestEngineFlags:
         out = capsys.readouterr().out
         assert "0 computed, 2 from disk cache" in out
 
+class TestSweepCli:
+    def test_quick_sweep_with_axis(self, capsys, tmp_path):
+        code = main(["sweep", "--quick",
+                     "--axis", "detection_latency=2000,10000",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep over detection_latency" in out
+        assert "2 computed" in out
+
+    def test_sweep_replays_from_disk_cache(self, capsys, tmp_path):
+        args = ["sweep", "--quick", "--axis", "detection_latency=2000",
+                "--cache-dir", str(tmp_path)]
+        main(args)
+        capsys.readouterr()
+        code = main(args)
+        assert code == 0
+        assert "0 computed, 1 from disk cache" in capsys.readouterr().out
+
+    def test_sweep_requires_axis(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--quick"])
+
+    def test_sweep_rejects_unknown_axis(self, capsys):
+        with pytest.raises(ValueError, match="unknown config field"):
+            main(["sweep", "--quick", "--axis", "bogus=1", "--no-cache"])
+
+    def test_sweep_rejects_duplicate_axis(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--quick", "--no-cache",
+                  "--axis", "detection_latency=2000",
+                  "--axis", "detection_latency=10000"])
+        assert "given twice" in capsys.readouterr().err
+
+    def test_sweep_multi_axis_variants(self, capsys, tmp_path):
+        code = main(["sweep", "--quick",
+                     "--axis", "detection_latency=2000,10000",
+                     "--axis", "l1.size_bytes=512,1024",
+                     "--schemes", "global", "rebound@2",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "l1.size_bytes" in out
+        assert "rebound@2" in out
+        assert "8 runs" in out
+
+    def test_l_sensitivity_experiment(self, capsys, tmp_path):
+        code = main(["fig_l_sensitivity", "--quick",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "L sensitivity" in out
+        assert "L/interval" in out
+
+
+class TestPlanDedup:
     def test_cross_figure_dedup_in_plan(self, capsys, tmp_path):
         # fig6_3 and fig6_5 share every scheme run; the union must
         # shrink versus the naive plan total.
