@@ -1,23 +1,31 @@
-"""Kernel micro-benchmark: raw serial ``Machine.run()`` throughput.
+"""Kernel micro-benchmark: raw serial ``Machine.run()`` throughput,
+plus workload-build wall time (cold generator vs. warm workload store).
 
 Times a fixed (app, cores, scheme) matrix — the same matrix regardless
 of ``REPRO_BENCH_FAST`` so numbers stay comparable across sessions —
 and writes ``BENCH_speed.json`` at the repo root so the performance
-trajectory of the simulation hot path is tracked from PR to PR.
+trajectory of the simulation hot path is tracked from PR to PR.  The
+``workload_store`` section times building the FAST benchmark app set
+from its profiles (cold) against deserializing it from a freshly
+populated content-addressed workload store (warm) — the build path the
+engine's pool workers take.
 
 This deliberately bypasses the runner/engine caches: it measures the
-simulator kernel itself, not the harness.
+simulator kernel and the workload build path themselves, not the
+harness.
 """
 
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from pathlib import Path
 
+from repro.harness.workload_store import WorkloadStore
 from repro.params import MachineConfig, Scheme
 from repro.sim.machine import Machine
-from repro.workloads import get_workload
+from repro.workloads import PARSEC_APACHE, SPLASH2, get_workload
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 RESULT_PATH = REPO_ROOT / "BENCH_speed.json"
@@ -33,7 +41,12 @@ MATRIX = (
 )
 SCALE = 40
 INTERVALS = 2.0
-REPEATS = 3  # wall-clock is min-of-N to shrug off machine noise
+REPEATS = 5  # wall-clock is min-of-N to shrug off machine noise
+
+#: The FAST benchmark app set (benchmarks/conftest.py under
+#: ``REPRO_BENCH_FAST=1``), timed at one representative size.
+STORE_APPS = tuple(SPLASH2[:4] + PARSEC_APACHE[:3])
+STORE_CORES = 16
 
 
 def _run_once(app: str, n_cores: int, scheme: Scheme):
@@ -45,6 +58,41 @@ def _run_once(app: str, n_cores: int, scheme: Scheme):
     start = time.perf_counter()
     stats = machine.run()
     return stats, time.perf_counter() - start
+
+
+def _measure_workload_store() -> dict:
+    """Cold generator build vs. warm store load for the FAST app set.
+
+    Symmetric min-of-N methodology: each cold pass builds into its own
+    fresh store directory (so every pass really generates and
+    serializes), the warm passes replay from the last populated store.
+    """
+    config = MachineConfig.scaled(n_cores=STORE_CORES,
+                                  scheme=Scheme.REBOUND, scale=SCALE)
+    cold = float("inf")
+    warm = float("inf")
+    for _ in range(REPEATS):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = WorkloadStore(Path(tmp))
+            start = time.perf_counter()
+            for app in STORE_APPS:
+                store.get_or_build(app, STORE_CORES, config, INTERVALS, 1)
+            cold = min(cold, time.perf_counter() - start)
+            assert store.misses == len(STORE_APPS)
+            for _ in range(REPEATS):
+                start = time.perf_counter()
+                for app in STORE_APPS:
+                    store.get_or_build(app, STORE_CORES, config,
+                                       INTERVALS, 1)
+                warm = min(warm, time.perf_counter() - start)
+            assert store.hits == REPEATS * len(STORE_APPS)
+    return {
+        "apps": list(STORE_APPS),
+        "n_cores": STORE_CORES,
+        "cold_build_s": round(cold, 4),
+        "warm_load_s": round(warm, 4),
+        "speedup": round(cold / warm, 1),
+    }
 
 
 def test_kernel_speed():
@@ -72,8 +120,9 @@ def test_kernel_speed():
         total_wall += wall
         total_cycles += stats.runtime
         total_instr += stats.total_instructions
+    store = _measure_workload_store()
     payload = {
-        "schema": 1,
+        "schema": 2,
         "scale": SCALE,
         "intervals": INTERVALS,
         "repeats": REPEATS,
@@ -82,6 +131,7 @@ def test_kernel_speed():
         "total_wall_s": round(total_wall, 4),
         "aggregate_sim_cycles_per_s": round(total_cycles / total_wall),
         "aggregate_instr_per_s": round(total_instr / total_wall),
+        "workload_store": store,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print()
@@ -93,3 +143,7 @@ def test_kernel_speed():
         print(f"  {row['app']:14s} x{row['n_cores']:<3d} "
               f"{row['scheme']:14s} {row['wall_s']:7.3f}s  "
               f"{row['sim_cycles_per_s']:>12,} simcyc/s")
+    print(f"workload build ({len(store['apps'])} FAST apps "
+          f"x{store['n_cores']}): cold {store['cold_build_s']:.3f}s, "
+          f"store-warm {store['warm_load_s']:.3f}s "
+          f"({store['speedup']:.0f}x)")

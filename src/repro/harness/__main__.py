@@ -35,6 +35,11 @@ every grid point becomes a cached, pool-parallel engine run::
 
     python -m repro.harness sweep --axis detection_latency=2000,10000,50000 \\
         --apps blackscholes --cores 8 --schemes global rebound
+
+``--apps`` (alias ``--workloads``) tokens resolve through the workload
+registry, so generators registered via
+``repro.workloads.register_workload`` are addressable by name alongside
+the 18 built-in application profiles.
 """
 
 from __future__ import annotations
@@ -55,7 +60,13 @@ from repro.harness.experiments import (
 from repro.harness.report import format_table
 from repro.harness.runner import Runner
 from repro.harness.scenario import SweepSpec, parse_axis
-from repro.workloads import ALL_APPS, PARSEC_APACHE, SPLASH2
+from repro.workloads import (
+    ALL_APPS,
+    PARSEC_APACHE,
+    SPLASH2,
+    resolve_workload,
+    workload_name,
+)
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -92,8 +103,10 @@ def campaign_main(argv: list[str]) -> int:
                         help="number of seeded runs per campaign cell")
     parser.add_argument("--mttf", type=float, default=1.0,
                         help="machine-wide MTTF in checkpoint intervals")
-    parser.add_argument("--apps", nargs="+", default=None,
-                        help=f"workloads (default {CAMPAIGN_APPS})")
+    parser.add_argument("--apps", "--workloads", dest="apps", nargs="+",
+                        default=None,
+                        help=f"registered workload names (default "
+                             f"{CAMPAIGN_APPS})")
     parser.add_argument("--cores", type=int, nargs="+", default=[8, 16],
                         help="processor counts to sweep")
     parser.add_argument("--schemes", nargs="+",
@@ -105,10 +118,12 @@ def campaign_main(argv: list[str]) -> int:
     _add_engine_flags(parser)
     args = parser.parse_args(argv)
     variants = tuple(parse_variant(token) for token in args.schemes)
+    apps = ([resolve_workload(token) for token in args.apps]
+            if args.apps is not None else None)
     engine, runner = _build_engine_and_runner(args)
     start = time.time()
     result = fig6_9_campaign(
-        runner, apps=args.apps, sizes=tuple(args.cores),
+        runner, apps=apps, sizes=tuple(args.cores),
         variants=variants, n_seeds=args.seeds, base_seed=args.seed,
         mttf_intervals=args.mttf)
     print()
@@ -140,8 +155,10 @@ def sweep_main(argv: list[str]) -> int:
                              "fault_at, cluster); note 'seed' is the "
                              "workload seed, not the back-off RNG "
                              "config field")
-    parser.add_argument("--apps", nargs="+", default=["blackscholes"],
-                        help="workloads to sweep (default blackscholes)")
+    parser.add_argument("--apps", "--workloads", dest="apps", nargs="+",
+                        default=["blackscholes"],
+                        help="registered workload names to sweep "
+                             "(default blackscholes)")
     parser.add_argument("--cores", type=int, nargs="+", default=[8],
                         help="processor counts to sweep")
     parser.add_argument("--schemes", nargs="+", default=["rebound"],
@@ -182,6 +199,7 @@ def sweep_main(argv: list[str]) -> int:
               "(RunKey.seed); the protocol back-off RNG seed "
               "(MachineConfig.seed) is not CLI-sweepable", flush=True)
     variants = tuple(parse_variant(token) for token in args.schemes)
+    apps = [resolve_workload(token) for token in args.apps]
     if "cluster" in axes and any(v.cluster != 1 for v in variants):
         parser.error("give the cluster size either as --schemes "
                      "scheme@K or as --axis cluster=..., not both")
@@ -190,7 +208,7 @@ def sweep_main(argv: list[str]) -> int:
     engine, runner = _build_engine_and_runner(args)
     spec = SweepSpec()
     for variant in variants:
-        base = {"scheme": variant.scheme, "app": args.apps,
+        base = {"scheme": variant.scheme, "app": apps,
                 "n_cores": args.cores}
         if "cluster" not in axes:
             base["cluster"] = variant.cluster
@@ -210,7 +228,7 @@ def sweep_main(argv: list[str]) -> int:
         # A swept cluster gets its own column; suffixing scheme@K too
         # would print the same value twice per row.
         rows.append([
-            point["app"], point["n_cores"],
+            workload_name(point["app"]), point["n_cores"],
             point["scheme"].value + (f"@{point['cluster']}"
                                      if point["cluster"] != 1
                                      and "cluster" not in axes else ""),
@@ -318,7 +336,8 @@ def main(argv: list[str] | None = None) -> int:
         rows = engine.profile_rows()
         total = sum(engine.profile.values())
         print(format_table(
-            ["app", "cores", "scheme", "io_every", "fault_at", "wall s"],
+            ["app", "cores", "scheme", "io_every", "fault_at", "cluster",
+             "overrides", "wall s"],
             rows, title=f"Per-run wall clock ({len(rows)} computed runs, "
                         f"{total:.1f}s total, {engine.disk_hits} disk-"
                         f"cache hits)"))

@@ -17,6 +17,14 @@ shared across Python versions) silently invalidates all previous
 results.  Stale files are never read; delete the cache directory to
 reclaim the space.
 
+Workload store: generated workloads are shared across runs through a
+content-addressed store under ``<cache_dir>/workloads`` (see
+:mod:`repro.harness.workload_store`): ``run_many`` prebuilds each
+unique workload once and the pool workers deserialize compact
+compiled-trace IR bytes instead of re-running ``SyntheticWorkload`` per
+run.  ``--no-cache`` (``REPRO_NO_CACHE=1``) disables it along with the
+result cache.
+
 Knobs (CLI flags on ``python -m repro.harness`` map onto the same
 settings)::
 
@@ -38,11 +46,18 @@ from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.harness.scenario import EMPTY_OVERRIDES, Overrides
+from repro.harness.workload_store import WorkloadStore
 from repro.params import MachineConfig, Scheme
 from repro.sim import SimStats
 from repro.sim.faults import FaultPlan
 from repro.sim.machine import Machine
-from repro.workloads import get_workload, inject_output_io
+from repro.workloads import (
+    get_workload,
+    inject_output_io,
+    workload_fingerprint,
+    workload_name,
+)
+from repro.workloads.registry import is_builtin_workload
 
 #: Bump when the pickled payload layout changes incompatibly.
 CACHE_FORMAT = 1
@@ -62,9 +77,14 @@ class RunKey:
     construction — a malformed key fails at plan time, never inside a
     pool worker.  Keys without overrides repr (and therefore cache)
     byte-identically to the pre-scenario layout.
+
+    ``app`` is a built-in workload name (plain ``str``, the pre-registry
+    cache identity) or the picklable
+    :class:`~repro.workloads.registry.WorkloadTag` of an out-of-tree
+    generator registered via ``register_workload``.
     """
 
-    app: str
+    app: str  # or WorkloadTag (duck-typed via its ``value`` attribute)
     n_cores: int
     scheme: Scheme
     intervals: float
@@ -116,24 +136,60 @@ class RunKey:
         return None
 
 
-def execute_run(key: RunKey) -> SimStats:
-    """Build and run the simulation ``key`` describes (pure function)."""
+def resolve_config(key: RunKey) -> MachineConfig:
+    """The fully resolved :class:`MachineConfig` of a run (scaled base
+    plus the key's overrides) — the workload-store address depends on
+    it, so planning and execution share one derivation."""
     config = MachineConfig.scaled(n_cores=key.n_cores, scheme=key.scheme,
                                   scale=key.scale,
                                   dep_cluster_size=key.cluster)
-    config = key.overrides.apply(config)
-    workload = get_workload(key.app, key.n_cores, config,
-                            intervals=key.intervals, seed=key.seed)
+    return key.overrides.apply(config)
+
+
+def execute_run(key: RunKey,
+                store: Optional[WorkloadStore] = None) -> SimStats:
+    """Build and run the simulation ``key`` describes (pure function).
+
+    With a ``store``, the base workload comes from the content-addressed
+    workload store (deserialized compiled-trace IR) instead of being
+    regenerated; the result is identical either way — the store is
+    purely a build cache.
+    """
+    config = resolve_config(key)
+    if store is not None:
+        workload = store.get_or_build(key.app, key.n_cores, config,
+                                      key.intervals, key.seed)
+    else:
+        workload = get_workload(key.app, key.n_cores, config,
+                                intervals=key.intervals, seed=key.seed)
     if key.io_every is not None:
         workload = inject_output_io(spec=workload, pid=0,
                                     every_instructions=key.io_every)
     return Machine(config, workload, faults=key.fault_list()).run()
 
 
-def _timed_run(key: RunKey) -> tuple[SimStats, float]:
+#: One store instance per root per worker process: pool tasks arrive as
+#: plain (key, root) calls, and a fresh store per task would reset the
+#: ``disabled`` write-failure latch — an unwritable store must warn and
+#: fall back once per process, not once per run.
+_WORKER_STORES: dict[str, WorkloadStore] = {}
+
+
+def _worker_store(store_root: Optional[str]) -> Optional[WorkloadStore]:
+    if store_root is None:
+        return None
+    store = _WORKER_STORES.get(store_root)
+    if store is None:
+        store = _WORKER_STORES[store_root] = WorkloadStore(store_root)
+    return store
+
+
+def _timed_run(key: RunKey,
+               store_root: Optional[str] = None) -> tuple[SimStats, float]:
     """Worker entry point: run ``key`` and report its wall-clock cost."""
+    store = _worker_store(store_root)
     start = time.perf_counter()
-    stats = execute_run(key)
+    stats = execute_run(key, store)
     return stats, time.perf_counter() - start
 
 
@@ -203,6 +259,11 @@ class ExperimentEngine:
         if use_disk_cache is None:
             use_disk_cache = os.environ.get("REPRO_NO_CACHE", "0") != "1"
         self.use_disk_cache = use_disk_cache
+        # The workload store lives under the result cache dir and obeys
+        # the same opt-out: ``--no-cache`` means no disk I/O at all.
+        self.workload_store: Optional[WorkloadStore] = (
+            WorkloadStore(self.cache_dir / "workloads")
+            if use_disk_cache else None)
         self.verbose = verbose
         self.memo: dict[RunKey, SimStats] = {}
         #: Wall-clock seconds per key *computed* this session (not cached).
@@ -215,11 +276,30 @@ class ExperimentEngine:
     # ------------------------------------------------------------------
     def _cache_path(self, key: RunKey) -> Path:
         ident = f"{code_fingerprint()}|{key!r}"
+        # Out-of-tree generators live outside src/repro, so the code
+        # fingerprint cannot see their changes: their registration
+        # fingerprint joins the result-cache identity instead (bump it
+        # and old SimStats are never served).  Built-in idents are
+        # unchanged — profile changes already invalidate through the
+        # code fingerprint, and the pre-registry cache layout is pinned
+        # by golden tests.
+        if not is_builtin_workload(key.app):
+            ident += f"|workload:{workload_fingerprint(key.app)}"
         digest = hashlib.sha256(ident.encode()).hexdigest()
         return self.cache_dir / f"{digest}.pkl"
 
-    def _load_cached(self, key: RunKey) -> Optional[SimStats]:
+    def _disk_cacheable(self, key: RunKey) -> bool:
+        """A registered generator without a fingerprint has *no*
+        invalidation signal at all (its source is invisible to the code
+        fingerprint), so its results must never be served from disk —
+        the registry promises such workloads are rebuilt per run."""
         if not self.use_disk_cache:
+            return False
+        return is_builtin_workload(key.app) \
+            or workload_fingerprint(key.app) is not None
+
+    def _load_cached(self, key: RunKey) -> Optional[SimStats]:
+        if not self._disk_cacheable(key):
             return None
         path = self._cache_path(key)
         try:
@@ -236,7 +316,7 @@ class ExperimentEngine:
         return stats
 
     def _store_cached(self, key: RunKey, stats: SimStats) -> None:
-        if not self.use_disk_cache:
+        if not self._disk_cacheable(key):
             return
         path = self._cache_path(key)
         try:
@@ -276,23 +356,76 @@ class ExperimentEngine:
                 self.memo[key] = cached
             else:
                 missing.append(key)
+        self._prepare_workloads(missing)
         if len(missing) > 1 and self.jobs > 1:
             self._run_parallel(missing)
         else:
             for key in missing:
                 self._announce(key)
-                stats, seconds = _timed_run(key)
-                self._finish(key, stats, seconds)
+                start = time.perf_counter()
+                stats = execute_run(key, self.workload_store)
+                self._finish(key, stats, time.perf_counter() - start)
         return {key: self.memo[key] for key in unique}
+
+    def _prepare_workloads(self, missing: list[RunKey]) -> None:
+        """Prebuild each workload that several missing runs *share*.
+
+        Many keys share one workload (every scheme/fault-plan/override
+        variant at the same app x cores x seed); building those once
+        here means the pool workers only deserialize compact IR bytes.
+        Workloads needed by a single run are left to that run's worker
+        (``get_or_build`` populates the store there), so a
+        low-sharing plan keeps its build parallelism.  Shared builds do
+        run serially here — the trade against letting workers race is
+        that every same-wave worker would duplicate the build; with
+        sharing ≥ 2 the single parent build is the cheaper side.
+        Best-effort: a
+        builder that raises is skipped here and fails inside its own
+        run, where the error report carries the full ``RunKey`` and
+        healthy siblings still complete.
+        """
+        store = self.workload_store
+        if store is None or not missing:
+            return
+        # Sharing is defined by the *store address* (built-ins share one
+        # entry across schemes/overrides), so count digests, not keys.
+        counts: dict[str, int] = {}
+        params_for: dict[str, tuple] = {}
+        for key in missing:
+            config = resolve_config(key)
+            digest = store.digest_for(key.app, key.n_cores, config,
+                                      key.intervals, key.seed)
+            if digest is None:
+                continue
+            counts[digest] = counts.get(digest, 0) + 1
+            params_for.setdefault(digest, (key.app, key.n_cores, config,
+                                           key.intervals, key.seed))
+        builds_before = store.builds
+        shared = 0
+        for digest, count in counts.items():
+            if count < 2:
+                continue
+            shared += 1
+            try:
+                store.ensure(*params_for[digest])
+            except Exception:  # noqa: BLE001 - deferred to the run itself
+                pass
+        built = store.builds - builds_before
+        if self.verbose and built:  # pragma: no cover - progress printing
+            print(f"  [engine] prebuilt {built} of {shared} shared "
+                  f"workload(s) for {len(missing)} runs", flush=True)
 
     def _run_parallel(self, missing: list[RunKey]) -> None:
         workers = min(self.jobs, len(missing))
         if self.verbose:  # pragma: no cover - progress printing
             print(f"  [engine] {len(missing)} runs on {workers} workers "
                   f"...", flush=True)
-        failure: Optional[tuple[RunKey, BaseException]] = None
+        store_root = str(self.workload_store.root) \
+            if self.workload_store is not None else None
+        failures: list[tuple[RunKey, BaseException]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_timed_run, key): key for key in missing}
+            futures = {pool.submit(_timed_run, key, store_root): key
+                       for key in missing}
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -302,25 +435,32 @@ class ExperimentEngine:
                         stats, seconds = future.result()
                     except BaseException as exc:  # noqa: BLE001
                         # Keep draining so completed siblings still land
-                        # in the cache; report the failing key (worker
+                        # in the cache; collect *every* failing key so
+                        # one bad run doesn't mask its siblings (worker
                         # tracebacks don't carry argument values).
-                        if failure is None:
-                            failure = (key, exc)
+                        failures.append((key, exc))
                         continue
                     self._finish(key, stats, seconds)
-        if failure is not None:
-            key, exc = failure
+        if failures:
+            lines = [f"  {self._describe(key)}: {exc!r}"
+                     for key, exc in failures]
             raise RuntimeError(
-                f"simulation failed for {key.app} x{key.n_cores} "
-                f"{key.scheme.value} (io_every={key.io_every}, "
-                f"fault_at={key.fault_at}, fault_plan={key.fault_plan}, "
-                f"cluster={key.cluster}, seed={key.seed}, "
-                f"scale={key.scale}, overrides={dict(key.overrides)})"
-                ) from exc
+                f"simulation failed for {len(failures)} of "
+                f"{len(missing)} run(s):\n" + "\n".join(lines)
+                ) from failures[0][1]
+
+    @staticmethod
+    def _describe(key: RunKey) -> str:
+        scheme = getattr(key.scheme, "value", key.scheme)
+        return (f"{workload_name(key.app)} x{key.n_cores} {scheme} "
+                f"(io_every={key.io_every}, fault_at={key.fault_at}, "
+                f"fault_plan={key.fault_plan}, cluster={key.cluster}, "
+                f"seed={key.seed}, scale={key.scale}, "
+                f"overrides={dict(key.overrides)})")
 
     def _announce(self, key: RunKey) -> None:
         if self.verbose:  # pragma: no cover - progress printing
-            print(f"  running {key.app} x{key.n_cores} "
+            print(f"  running {workload_name(key.app)} x{key.n_cores} "
                   f"{key.scheme.value} ...", flush=True)
 
     def _finish(self, key: RunKey, stats: SimStats, seconds: float) -> None:
@@ -328,14 +468,20 @@ class ExperimentEngine:
         self.profile[key] = seconds
         self._store_cached(key, stats)
         if self.verbose and self.jobs > 1:  # pragma: no cover
-            print(f"  [engine] done {key.app} x{key.n_cores} "
-                  f"{key.scheme.value} ({seconds:.1f}s)", flush=True)
+            print(f"  [engine] done {workload_name(key.app)} "
+                  f"x{key.n_cores} {key.scheme.value} ({seconds:.1f}s)",
+                  flush=True)
 
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     def profile_rows(self) -> list[list]:
-        """Per-run wall-clock rows (slowest first) for ``--profile``."""
+        """Per-run wall-clock rows (slowest first) for ``--profile``.
+
+        ``cluster`` and ``overrides`` are part of a run's identity, so
+        without them two sweep grid points are indistinguishable in the
+        profile table.
+        """
         rows = []
         for key, seconds in sorted(self.profile.items(),
                                    key=lambda kv: -kv[1]):
@@ -345,8 +491,13 @@ class ExperimentEngine:
                 faults = f"{key.fault_at:,.0f}"
             else:
                 faults = "-"
-            rows.append([key.app, key.n_cores, key.scheme.value,
+            overrides = ",".join(f"{name}={value}" for name, value
+                                 in key.overrides.items()) or "-"
+            scheme = getattr(key.scheme, "value", key.scheme)
+            rows.append([workload_name(key.app), key.n_cores, scheme,
                          key.io_every if key.io_every is not None else "-",
                          faults,
+                         key.cluster,
+                         overrides,
                          f"{seconds:.2f}"])
         return rows

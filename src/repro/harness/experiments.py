@@ -59,6 +59,7 @@ from repro.workloads import (
     LOW_ICHK,
     PARSEC_APACHE,
     SPLASH2,
+    workload_name,
 )
 
 #: Schemes of the Figure 6.3 comparison, in bar order.
@@ -485,7 +486,8 @@ def fig6_9_campaign(runner: Runner, apps: list[str] | None = None,
             ])
     return ExperimentResult(
         f"Figure 6.9 (ext): fault campaign, MTTF = {mttf_intervals:g} "
-        f"interval(s), {n_seeds} seed(s)/app, apps={'+'.join(apps)}",
+        f"interval(s), {n_seeds} seed(s)/app, "
+        f"apps={'+'.join(workload_name(app) for app in apps)}",
         ["cores", "variant", "availability", "work lost (cyc)",
          "rollbacks/run", "mean |IREC|", "p95 recovery (cyc)",
          "delivered"], rows,
@@ -557,7 +559,7 @@ def fig_l_sensitivity(runner: Runner, apps: list[str] | None = None,
     return ExperimentResult(
         f"L sensitivity (ext): detection latency sweep, {n_cores} "
         f"processors, MTTF = {mttf_intervals:g} interval(s), "
-        f"apps={'+'.join(apps)}",
+        f"apps={'+'.join(workload_name(app) for app in apps)}",
         ["L (cyc)", "L/interval", "scheme", "mean recovery (cyc)",
          "p95 recovery (cyc)", "availability", "work lost (cyc)",
          "delivered"], rows,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.sim.stats import CoreStats
+from repro.trace import CompiledTrace
 
 
 @dataclass(slots=True)
@@ -33,7 +34,8 @@ class Core:
     """One tile's core: trace cursor, clock, block state, snapshots."""
 
     __slots__ = (
-        "pid", "trace", "ip", "time", "instr_count", "instr_since_ckpt",
+        "pid", "trace", "ops", "args", "ip", "time", "instr_count",
+        "instr_since_ckpt",
         "done", "blocked", "block_site", "block_start", "epoch",
         "not_before", "held_locks", "barrier_crossings", "stats",
         "store_seq", "ckpt_busy_until", "snapshots", "next_ckpt_id",
@@ -41,9 +43,21 @@ class Core:
         "recovery_until",
     )
 
-    def __init__(self, pid: int, trace: list[tuple]):
+    def __init__(self, pid: int, trace):
         self.pid = pid
         self.trace = trace
+        # The hot loop indexes the columnar IR as plain lists: ``tolist``
+        # pre-boxes every op/arg once, so the per-record fetch is two
+        # allocation-free list lookups instead of a tuple fetch + two
+        # element reads.  A raw tuple trace (unit tests poking at core
+        # state directly) keeps ``ops``/``args`` unset — the machine
+        # always compiles traces before building cores.
+        if isinstance(trace, CompiledTrace):
+            self.ops = trace.ops.tolist()
+            self.args = trace.args.tolist()
+        else:
+            self.ops = None
+            self.args = None
         self.ip = 0
         self.time = 0.0
         self.instr_count = 0

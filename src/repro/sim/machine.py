@@ -7,10 +7,14 @@ inject delays through ``core.not_before`` and scheduled callbacks; fault
 injection reveals faults after the detection latency L and hands them to
 the scheme's rollback protocol.
 
-Hot path: runs of consecutive COMPUTE/LOAD/STORE records of one core are
-fused into a single heap residency — the core keeps executing without a
-push/pop per record for as long as no other heap event is due at or
-before its next record, up to ``fuse_quantum`` records.  Because the
+Hot path: traces are consumed as the columnar IR of
+:class:`repro.trace.CompiledTrace` — the executor reads parallel
+``ops``/``args`` columns (``op = ops[ip]; arg = args[ip]``) instead of
+unpacking per-record tuples — and runs of consecutive
+COMPUTE/LOAD/STORE records of one core are fused into a single heap
+residency: the core keeps executing without a push/pop per record for
+as long as no other heap event is due at or before its next record, up
+to ``fuse_quantum`` records.  Because the
 fusion condition is exactly the condition under which the serial heap
 discipline would pop the same core again next, the interleaving (and
 therefore every statistic) is bit-identical to the unbatched loop;
@@ -42,6 +46,7 @@ from repro.trace import (
     OUTPUT,
     STORE,
     UNLOCK,
+    compile_trace,
 )
 from repro.workloads.base import WorkloadSpec
 
@@ -78,7 +83,9 @@ class Machine:
         self.scheme = build_scheme(self)
         self.engine = CoherenceEngine(config, self.channels, self.memory,
                                       self.network, self.scheme)
-        self.cores = [Core(pid, trace)
+        # Traces are consumed as the columnar IR; tuple traces are
+        # compiled once here (compiled traces pass through untouched).
+        self.cores = [Core(pid, compile_trace(trace))
                       for pid, trace in enumerate(workload.traces)]
         self.sync = SyncManager()
         for lock in workload.locks:
@@ -205,8 +212,9 @@ class Machine:
             # -- trace execution: a batch of records for ``core`` ----------
             t = core.time
             now = when if when >= t else t
-            trace = core.trace
-            n_records = len(trace)
+            ops = core.ops
+            args = core.args
+            n_records = len(ops)
             pid = core.pid
             stats = core.stats
             budget = quantum
@@ -221,50 +229,53 @@ class Machine:
                     if core.not_before > now:
                         self.push_core(core)  # back-off / ckpt stall
                         break
-                record = trace[core.ip] if core.ip < n_records else (END,)
-                op = record[0]
+                ip = core.ip
+                if ip < n_records:
+                    op = ops[ip]
+                    arg = args[ip]
+                else:
+                    op = END
                 if op == COMPUTE:
-                    n = record[1]
-                    core.time = now + n
-                    core.instr_count += n
-                    core.instr_since_ckpt += n
-                    stats.busy += n
-                    core.ip += 1
+                    core.time = now + arg
+                    core.instr_count += arg
+                    core.instr_since_ckpt += arg
+                    stats.busy += arg
+                    core.ip = ip + 1
                 elif op == LOAD:
-                    latency = engine_load(pid, record[1], now)
+                    latency = engine_load(pid, arg, now)
                     core.time = now + latency
                     core.instr_count += 1
                     core.instr_since_ckpt += 1
                     stats.busy += latency
-                    core.ip += 1
+                    core.ip = ip + 1
                 elif op == STORE:
-                    latency = engine_store(pid, record[1],
+                    latency = engine_store(pid, arg,
                                            core.next_store_value(), now)
                     core.time = now + latency
                     core.instr_count += 1
                     core.instr_since_ckpt += 1
                     stats.busy += latency
-                    core.ip += 1
+                    core.ip = ip + 1
                 elif op == BARRIER:
-                    result = sync.barrier_arrive(self, core, record[1], now)
+                    result = sync.barrier_arrive(self, core, arg, now)
                     if result is None:
                         break  # blocked; ip advances on release
-                    core.ip += 1
+                    core.ip = ip + 1
                     core.time = result
                     self.push_core(core)
                     break
                 elif op == LOCK:
-                    result = sync.lock_acquire(self, core, record[1], now)
+                    result = sync.lock_acquire(self, core, arg, now)
                     if result is None:
                         break  # blocked; ip advances on grant
-                    core.ip += 1
+                    core.ip = ip + 1
                     core.time = result
                     self.push_core(core)
                     break
                 elif op == UNLOCK:
-                    core.time = sync.lock_release(self, core, record[1],
+                    core.time = sync.lock_release(self, core, arg,
                                                   now)
-                    core.ip += 1
+                    core.ip = ip + 1
                     self.push_core(core)
                     break
                 elif op == OUTPUT:
@@ -280,7 +291,7 @@ class Machine:
                     stats.busy += io_cycles
                     core.instr_count += 1
                     core.instr_since_ckpt += 1
-                    core.ip += 1
+                    core.ip = ip + 1
                     self.push_core(core)
                     break
                 elif op == END:
@@ -290,7 +301,7 @@ class Machine:
                     scheme.on_core_done(core, now)
                     break
                 else:  # pragma: no cover - malformed trace
-                    raise ValueError(f"unknown trace op {record!r}")
+                    raise ValueError(f"unknown trace op {(op, arg)!r}")
                 # -- fused continuation ------------------------------------
                 budget -= 1
                 t = core.time
@@ -302,20 +313,28 @@ class Machine:
                     heappush(heap,
                              (when, self._seq, _EXEC, pid, core.epoch))
                     break
-                if when > self.now:
-                    self.now = when
+                # ``self.now`` is not advanced record-by-record: nothing
+                # can observe it mid-batch (callbacks only run from
+                # pops), and the next pop re-synchronizes it.
                 if when > limit:
+                    self.now = when
                     raise RuntimeError(
                         f"simulation exceeded {max_cycles:,.0f} cycles")
                 now = when
         # The application finished, but background work (delayed-writeback
         # drains) may still be scheduled: let it complete so checkpoints
-        # close and the log/markers are consistent.
+        # close and the log/markers are consistent.  The cycle limit is
+        # enforced here too — a runaway background-callback chain must
+        # not spin past ``max_cycles`` silently just because the
+        # application part of the run is over.
         while heap:
             when, _, kind, a, _ = heappop(heap)
             if kind == _CALL:
                 if when > self.now:
                     self.now = when
+                if when > limit:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_cycles:,.0f} cycles")
                 a(when)
         return self.finalize()
 

@@ -13,7 +13,17 @@ from repro.workloads.profiles import (
     AppProfile,
     get_profile,
 )
-from repro.workloads.registry import get_workload, list_workloads
+from repro.workloads.registry import (
+    WorkloadTag,
+    get_workload,
+    list_workloads,
+    register_workload,
+    registered_workloads,
+    resolve_workload,
+    unregister_workload,
+    workload_fingerprint,
+    workload_name,
+)
 from repro.workloads.synthetic import SyntheticWorkload, build_workload
 
 __all__ = [
@@ -34,4 +44,11 @@ __all__ = [
     "build_workload",
     "SyntheticWorkload",
     "inject_output_io",
+    "WorkloadTag",
+    "register_workload",
+    "registered_workloads",
+    "resolve_workload",
+    "unregister_workload",
+    "workload_fingerprint",
+    "workload_name",
 ]

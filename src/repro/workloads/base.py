@@ -1,8 +1,26 @@
-"""Workload description consumed by the machine."""
+"""Workload description consumed by the machine.
+
+A :class:`WorkloadSpec` carries one trace per thread (compiled
+:class:`repro.trace.CompiledTrace` IR from the generators, or plain
+tuple lists from hand-written tests — the machine compiles the latter
+on construction) plus the synchronization plan, and serializes to a
+compact deterministic byte string (:meth:`WorkloadSpec.to_bytes`) for
+the harness's content-addressed workload store.
+"""
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
+
+from repro.trace import CompiledTrace, compile_trace
+
+#: Bump when the serialized workload layout changes incompatibly.
+WORKLOAD_WIRE_FORMAT = 1
+
+#: Fixed pickle protocol so the byte image of a workload is identical
+#: across interpreter lines (the store's determinism guarantee).
+_WIRE_PICKLE_PROTOCOL = 4
 
 
 @dataclass(frozen=True)
@@ -28,7 +46,7 @@ class WorkloadSpec:
     """A fully generated workload: one trace per thread plus sync plan."""
 
     name: str
-    traces: list[list[tuple]]
+    traces: list
     locks: list[LockSpec] = field(default_factory=list)
     barriers: list[BarrierSpec] = field(default_factory=list)
 
@@ -39,3 +57,38 @@ class WorkloadSpec:
     def total_instructions(self) -> int:
         from repro.trace import trace_instruction_count
         return sum(trace_instruction_count(t) for t in self.traces)
+
+    # ------------------------------------------------------------------
+    # wire format (workload store)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Deterministic serialized form: the traces as flat compiled-IR
+        bytes, the sync plan as plain ints — the same workload content
+        always produces the same byte string."""
+        payload = (
+            WORKLOAD_WIRE_FORMAT,
+            self.name,
+            [compile_trace(t).to_bytes() for t in self.traces],
+            [(lock.lock_id, lock.line) for lock in self.locks],
+            [(b.barrier_id, tuple(b.participants), b.count_line,
+              b.flag_line) for b in self.barriers],
+        )
+        return pickle.dumps(payload, protocol=_WIRE_PICKLE_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WorkloadSpec":
+        """Inverse of :meth:`to_bytes` (raises ValueError on mismatch)."""
+        payload = pickle.loads(data)
+        if not isinstance(payload, tuple) or len(payload) != 5 \
+                or payload[0] != WORKLOAD_WIRE_FORMAT:
+            raise ValueError("unrecognized serialized workload")
+        _, name, traces, locks, barriers = payload
+        return cls(
+            name=name,
+            traces=[CompiledTrace.from_bytes(t) for t in traces],
+            locks=[LockSpec(lock_id, line) for lock_id, line in locks],
+            barriers=[BarrierSpec(barrier_id, list(participants),
+                                  count_line, flag_line)
+                      for barrier_id, participants, count_line, flag_line
+                      in barriers],
+        )

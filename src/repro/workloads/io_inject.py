@@ -9,10 +9,8 @@ Global versus Rebound.
 
 from __future__ import annotations
 
-from repro.trace import COMPUTE, LOAD, LOCK, OUTPUT, STORE, UNLOCK
+from repro.trace import COMPUTE, ONE_INSTR_OPS, TraceBuilder
 from repro.workloads.base import WorkloadSpec
-
-_INSTR_OPS = (LOAD, STORE, LOCK, UNLOCK, OUTPUT)
 
 
 def inject_output_io(spec: WorkloadSpec, pid: int = 0,
@@ -20,12 +18,14 @@ def inject_output_io(spec: WorkloadSpec, pid: int = 0,
                      io_bytes: int = 4096) -> WorkloadSpec:
     """Insert an OUTPUT record into thread ``pid`` every N instructions.
 
-    Returns a new spec; the other threads are untouched.
+    Returns a new spec whose injected trace is a compiled
+    :class:`CompiledTrace` (tuple traces are accepted too); the other
+    threads are untouched.
     """
     if not 0 <= pid < spec.n_threads:
         raise ValueError(f"thread {pid} out of range")
     trace = spec.traces[pid]
-    new_trace: list[tuple] = []
+    new_trace = TraceBuilder()
     instr = 0
     next_io = every_instructions
     for record in trace:
@@ -36,24 +36,24 @@ def inject_output_io(spec: WorkloadSpec, pid: int = 0,
             while instr + remaining >= next_io:
                 chunk = next_io - instr
                 if chunk > 0:
-                    new_trace.append((COMPUTE, chunk))
+                    new_trace.compute(chunk)
                     instr += chunk
                     remaining -= chunk
-                new_trace.append((OUTPUT, io_bytes))
+                new_trace.output(io_bytes)
                 instr += 1
                 next_io += every_instructions
             if remaining > 0:
-                new_trace.append((COMPUTE, remaining))
+                new_trace.compute(remaining)
                 instr += remaining
             continue
-        new_trace.append(record)
-        if op in _INSTR_OPS:
+        new_trace.append(op, record[1] if len(record) > 1 else 0)
+        if op in ONE_INSTR_OPS:
             instr += 1
             if instr >= next_io:
-                new_trace.append((OUTPUT, io_bytes))
+                new_trace.output(io_bytes)
                 instr += 1
                 next_io += every_instructions
     traces = list(spec.traces)
-    traces[pid] = new_trace
+    traces[pid] = new_trace.build()
     return WorkloadSpec(name=f"{spec.name}+io", traces=traces,
                         locks=spec.locks, barriers=spec.barriers)

@@ -15,22 +15,18 @@ generator realizes the profile's communication structure:
 * Barriers are emitted at identical logical positions in every thread,
   so every thread crosses every barrier generation exactly once.
 
-Generation is deterministic in ``(profile, n_threads, seed)``.
+Generation is deterministic in ``(profile, n_threads, seed)``, and the
+threads' traces are emitted directly into the columnar IR of
+:class:`repro.trace.CompiledTrace` through a
+:class:`repro.trace.TraceBuilder` — no intermediate tuple lists — which
+is also what the harness's content-addressed workload store serializes.
 """
 
 from __future__ import annotations
 
 import random
 
-from repro.trace import (
-    AddressSpace,
-    BARRIER,
-    COMPUTE,
-    LOAD,
-    LOCK,
-    STORE,
-    UNLOCK,
-)
+from repro.trace import AddressSpace, CompiledTrace, TraceBuilder
 from repro.workloads.base import BarrierSpec, LockSpec, WorkloadSpec
 from repro.workloads.profiles import AppProfile, REFERENCE_INTERVAL
 
@@ -154,16 +150,16 @@ class SyntheticWorkload:
         return WorkloadSpec(name=self.profile.name, traces=traces,
                             locks=self.locks, barriers=barriers)
 
-    def _thread_trace(self, tid: int) -> list[tuple]:
+    def _thread_trace(self, tid: int) -> CompiledTrace:
         profile = self.profile
         rng = random.Random((self.seed * 1_000_003) ^ (tid * 97 + 11))
-        ops: list[tuple] = []
+        trace = TraceBuilder()
         instr = 0
         # Threads do not start in lockstep: thread creation, warm-up and
         # data distribution skew them apart, which staggers the local
         # checkpoints of different clusters (they re-align at barriers).
         jitter = rng.randint(0, max(1, self.interval // 3))
-        ops.append((COMPUTE, jitter))
+        trace.compute(jitter)
         instr += jitter
         barrier_idx = 0
         recent: list[int] = []
@@ -176,35 +172,36 @@ class SyntheticWorkload:
         mem_every = profile.mem_every
         while instr < self.total_instructions:
             gap = rng.randint(max(1, mem_every // 2), mem_every * 3 // 2)
-            ops.append((COMPUTE, gap))
+            trace.compute(gap)
             instr += gap
             while (barrier_idx < len(self.barrier_positions)
                    and instr >= self.barrier_positions[barrier_idx]):
-                ops.append((BARRIER, 0))
+                trace.barrier(0)
                 barrier_idx += 1
             if next_lock is not None and instr >= next_lock:
-                instr += self._emit_lock_section(ops, rng, lock_pool)
+                instr += self._emit_lock_section(trace, rng, lock_pool)
                 next_lock = instr + rng.randint(1, 2 * lock_gap)
                 continue
-            instr += self._emit_access(ops, rng, tid, peers, recent)
+            instr += self._emit_access(trace, rng, tid, peers, recent)
         while barrier_idx < len(self.barrier_positions):
-            ops.append((BARRIER, 0))
+            trace.barrier(0)
             barrier_idx += 1
-        return ops
+        return trace.build()
 
-    def _emit_access(self, ops: list, rng: random.Random, tid: int,
-                     peers: list[int], recent: list[int]) -> int:
+    def _emit_access(self, trace: TraceBuilder, rng: random.Random,
+                     tid: int, peers: list[int],
+                     recent: list[int]) -> int:
         profile = self.profile
         if peers and rng.random() < profile.shared_frac:
             if rng.random() < profile.write_frac:
                 # Produce into the thread's own shared region.
                 region = self.shared_regions[tid]
-                ops.append((STORE, region[rng.randrange(len(region))]))
+                trace.store(region[rng.randrange(len(region))])
             else:
                 # Consume from a cluster peer's region (RAW dependence).
                 peer = peers[rng.randrange(len(peers))]
                 region = self.shared_regions[peer]
-                ops.append((LOAD, region[rng.randrange(len(region))]))
+                trace.load(region[rng.randrange(len(region))])
             return 1
         # Private access with temporal locality.
         region = self.private_regions[tid]
@@ -215,20 +212,22 @@ class SyntheticWorkload:
             recent.append(line)
             if len(recent) > 16:
                 recent.pop(0)
-        kind = STORE if rng.random() < profile.write_frac else LOAD
-        ops.append((kind, line))
+        if rng.random() < profile.write_frac:
+            trace.store(line)
+        else:
+            trace.load(line)
         return 1
 
-    def _emit_lock_section(self, ops: list, rng: random.Random,
+    def _emit_lock_section(self, trace: TraceBuilder, rng: random.Random,
                            pool: list[int]) -> int:
         """LOCK; RMW the protected migratory line; UNLOCK."""
         lock_id = pool[rng.randrange(len(pool))]
         data_line = self.lock_data[lock_id]
-        ops.append((LOCK, lock_id))
-        ops.append((LOAD, data_line))
-        ops.append((COMPUTE, self.LOCK_SECTION_COMPUTE))
-        ops.append((STORE, data_line))
-        ops.append((UNLOCK, lock_id))
+        trace.lock(lock_id)
+        trace.load(data_line)
+        trace.compute(self.LOCK_SECTION_COMPUTE)
+        trace.store(data_line)
+        trace.unlock(lock_id)
         # LOCK/UNLOCK expand to RMWs inside the simulator (2 instr each).
         return 2 + self.LOCK_SECTION_COMPUTE + 2 + 2
 

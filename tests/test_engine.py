@@ -102,6 +102,38 @@ class TestEngineMechanics:
         assert len(fresh.profile) == 1
 
 
+class TestParallelFailures:
+    def test_every_failing_key_reported(self):
+        # Two keys with unknown apps fail inside the workers; the raised
+        # error must name them *both* (a single-failure report makes a
+        # broken sweep a whack-a-mole of reruns), while the healthy
+        # sibling still lands in the memo.
+        good = MATRIX[0]
+        bad = [RunKey("no_such_app_a", 4, Scheme.NONE, 1.5, 1, 300),
+               RunKey("no_such_app_b", 4, Scheme.NONE, 1.5, 1, 300)]
+        eng = ExperimentEngine(jobs=2, use_disk_cache=False)
+        with pytest.raises(RuntimeError) as excinfo:
+            eng.run_many([good] + bad)
+        message = str(excinfo.value)
+        assert "no_such_app_a" in message
+        assert "no_such_app_b" in message
+        assert "2 of 3 run(s)" in message
+        assert good in eng.memo
+
+
+class TestProfileRows:
+    def test_rows_carry_cluster_and_overrides(self):
+        eng = ExperimentEngine(jobs=1, use_disk_cache=False)
+        eng.run(RunKey("blackscholes", 4, Scheme.REBOUND, 1.5, 1, 300,
+                       cluster=2, overrides={"detection_latency": 2000}))
+        eng.run(MATRIX[0])
+        rows = eng.profile_rows()
+        assert all(len(row) == 8 for row in rows)
+        by_cluster = {row[5]: row for row in rows}
+        assert by_cluster[2][6] == "detection_latency=2000"
+        assert by_cluster[1][6] == "-"
+
+
 class TestRunnerFacade:
     def test_runner_routes_through_engine(self, tmp_path):
         eng = ExperimentEngine(jobs=1, cache_dir=tmp_path,

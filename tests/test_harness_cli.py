@@ -40,6 +40,9 @@ class TestEngineFlags:
         out = capsys.readouterr().out
         assert "Per-run wall clock" in out
         assert "wall s" in out
+        # Sweep-disambiguating columns (cluster, overrides) are present.
+        assert "cluster" in out
+        assert "overrides" in out
 
     def test_jobs_flag_parallel_run(self, capsys, tmp_path):
         code = main(["fig6_1", "--quick", "-j", "2",
@@ -100,6 +103,21 @@ class TestSweepCli:
         assert "l1.size_bytes" in out
         assert "rebound@2" in out
         assert "8 runs" in out
+
+    def test_workloads_flag_resolves_registry_names(self, capsys,
+                                                    tmp_path):
+        code = main(["sweep", "--quick",
+                     "--axis", "detection_latency=2000",
+                     "--workloads", "water_sp",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "water_sp" in capsys.readouterr().out
+
+    def test_workloads_flag_rejects_unknown_name(self, capsys):
+        with pytest.raises(ValueError, match="unknown workload"):
+            main(["sweep", "--quick", "--no-cache",
+                  "--axis", "detection_latency=2000",
+                  "--workloads", "doom"])
 
     def test_l_sensitivity_experiment(self, capsys, tmp_path):
         code = main(["fig_l_sensitivity", "--quick",

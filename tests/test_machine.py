@@ -48,10 +48,26 @@ class TestBasicExecution:
             machine.run(max_cycles=100)
 
     def test_unknown_op_rejected(self):
-        machine = make_machine([[(99, 0)]],
-                               config=tiny_config(2, Scheme.NONE))
+        # Rejected at trace-compile time (machine construction), before
+        # any cycle is simulated.
         with pytest.raises(ValueError, match="unknown trace op"):
-            machine.run()
+            make_machine([[(99, 0)]], config=tiny_config(2, Scheme.NONE))
+
+    def test_max_cycles_guard_covers_post_run_drain(self):
+        # The application finishes almost immediately, then a
+        # self-rescheduling background callback chain keeps the heap
+        # alive: the post-run drain loop must enforce the cycle limit
+        # too instead of spinning past it silently.
+        machine = make_machine([[(COMPUTE, 10), (END,)]],
+                               config=tiny_config(2, Scheme.NONE))
+
+        def chain(now):
+            if now < 1_000_000:
+                machine.schedule(now + 100.0, chain)
+
+        machine.schedule(50.0, chain)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            machine.run(max_cycles=5_000)
 
     def test_too_many_threads_rejected(self):
         spec = make_spec([[(END,)]] * 3)

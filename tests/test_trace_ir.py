@@ -1,0 +1,215 @@
+"""Tests for the compiled columnar trace IR.
+
+Parity is the contract: a simulation driven by compiled traces must
+produce ``SimStats`` equal to the same simulation driven by the
+equivalent tuple traces — for every registered scheme, with fault
+campaigns and output-I/O injection in the mix — because the IR is a
+*representation* change only.  Plus unit coverage for the builder, the
+one-shot ``compile_trace`` shim and the wire format the workload store
+moves between processes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.factory import registered_schemes, resolve_scheme
+from repro.params import MachineConfig, Scheme
+from repro.sim.faults import FaultPlan
+from repro.sim.machine import Machine
+from repro.trace import (
+    BARRIER,
+    COMPUTE,
+    END,
+    LOAD,
+    LOCK,
+    OUTPUT,
+    STORE,
+    UNLOCK,
+    CompiledTrace,
+    TraceBuilder,
+    compile_trace,
+    trace_instruction_count,
+)
+from repro.workloads import get_workload, inject_output_io
+from repro.workloads.base import WorkloadSpec
+
+SCALE = 300
+INTERVALS = 1.5
+
+RECORDS = [
+    (COMPUTE, 25),
+    (LOAD, 3),
+    (STORE, 1 << 40),          # sync-region address needs 64-bit args
+    (BARRIER, 0),
+    (LOCK, 2),
+    (UNLOCK, 2),
+    (OUTPUT, 4096),
+    (END,),
+]
+
+
+def tuple_twin(spec: WorkloadSpec) -> WorkloadSpec:
+    """The same workload with every trace as a plain tuple list."""
+    return WorkloadSpec(name=spec.name,
+                        traces=[list(t) for t in spec.traces],
+                        locks=spec.locks, barriers=spec.barriers)
+
+
+class TestCompiledTrace:
+    def test_round_trips_every_record_kind(self):
+        trace = compile_trace(RECORDS)
+        assert list(trace) == RECORDS
+        assert trace.to_tuples() == RECORDS
+        assert [trace[i] for i in range(len(trace))] == RECORDS
+        assert trace[-1] == (END,)
+        assert trace[1:3] == RECORDS[1:3]       # slices keep tuple form
+        assert trace[-2:] == RECORDS[-2:]
+
+    def test_builder_equals_shim(self):
+        built = TraceBuilder()
+        built.compute(25)
+        built.load(3)
+        built.store(1 << 40)
+        built.barrier(0)
+        built.lock(2)
+        built.unlock(2)
+        built.output(4096)
+        built.append(END)
+        assert built.build() == compile_trace(RECORDS)
+
+    def test_equality_with_tuple_list(self):
+        trace = compile_trace(RECORDS)
+        assert trace == RECORDS
+        assert trace != RECORDS[:-1]
+        assert trace != [(COMPUTE, 99)] * len(RECORDS)
+
+    def test_compiled_passes_through(self):
+        trace = compile_trace(RECORDS)
+        assert compile_trace(trace) is trace
+
+    def test_instruction_count_matches_tuple_walk(self):
+        trace = compile_trace(RECORDS)
+        expected = trace_instruction_count(RECORDS)
+        assert trace.instruction_count() == expected
+        assert trace_instruction_count(trace) == expected
+        builder = TraceBuilder()
+        builder.extend(RECORDS)
+        assert builder.n_instructions == expected
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown trace op"):
+            compile_trace([(99, 0)])
+        with pytest.raises(ValueError, match="unknown trace op"):
+            TraceBuilder().append(-1)
+        with pytest.raises(ValueError, match="unknown trace op"):
+            CompiledTrace([99], [0])
+
+    def test_rejects_column_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            CompiledTrace([COMPUTE, LOAD], [5])
+
+    def test_wire_round_trip(self):
+        trace = compile_trace(RECORDS)
+        clone = CompiledTrace.from_bytes(trace.to_bytes())
+        assert clone == trace
+        assert clone.n_instructions == trace.n_instructions
+
+    def test_wire_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            CompiledTrace.from_bytes(b"xx")
+        data = compile_trace(RECORDS).to_bytes()
+        with pytest.raises(ValueError):
+            CompiledTrace.from_bytes(data[:-3])      # truncated column
+        with pytest.raises(ValueError):
+            CompiledTrace.from_bytes(b"\xff" + data[1:])  # bad version
+
+    def test_pickle_round_trip(self):
+        trace = compile_trace(RECORDS)
+        assert pickle.loads(pickle.dumps(trace)) == trace
+
+
+class TestGeneratedTraces:
+    def test_generators_emit_compiled_traces(self):
+        config = MachineConfig.scaled(n_cores=4, scale=SCALE)
+        spec = get_workload("ocean", 4, config, intervals=INTERVALS)
+        assert all(isinstance(t, CompiledTrace) for t in spec.traces)
+
+    def test_io_injection_emits_compiled_traces(self):
+        config = MachineConfig.scaled(n_cores=4, scale=SCALE)
+        spec = get_workload("blackscholes", 4, config, intervals=INTERVALS)
+        injected = inject_output_io(spec, pid=0, every_instructions=2_000)
+        assert isinstance(injected.traces[0], CompiledTrace)
+        # Untouched threads keep their original trace objects.
+        assert injected.traces[1] is spec.traces[1]
+
+
+class TestCompiledVsTupleParity:
+    """Compiled-IR runs == tuple-trace runs, bit for bit."""
+
+    @pytest.mark.parametrize("name", registered_schemes())
+    def test_every_registered_scheme(self, name):
+        scheme = resolve_scheme(name)
+        config = MachineConfig.scaled(n_cores=4, scheme=scheme,
+                                      scale=SCALE)
+        compiled = get_workload("ocean", 4, config, intervals=INTERVALS)
+        tuples = tuple_twin(compiled)
+        assert Machine(config, compiled).run() == \
+            Machine(config, tuples).run()
+
+    def test_fault_campaign_run(self):
+        config = MachineConfig.scaled(n_cores=4, scheme=Scheme.REBOUND,
+                                      scale=150)
+        interval = config.checkpoint_interval
+        plan = FaultPlan(((1.3 * interval, 0), (1.32 * interval, 2),
+                          (2.4 * interval, 0)))
+        compiled = get_workload("ocean", 4, config, intervals=1.8)
+        a = Machine(config, compiled, faults=plan).run()
+        b = Machine(config, tuple_twin(compiled), faults=plan).run()
+        assert a == b
+        assert a.rollbacks          # the faults really recovered
+
+    @pytest.mark.parametrize("scheme", [Scheme.GLOBAL, Scheme.REBOUND])
+    def test_io_injected_run(self, scheme):
+        config = MachineConfig.scaled(n_cores=4, scheme=scheme,
+                                      scale=150)
+        spec = get_workload("blackscholes", 4, config, intervals=1.8)
+        spec = inject_output_io(spec, pid=0, every_instructions=4_000)
+        a = Machine(config, spec).run()
+        b = Machine(config, tuple_twin(spec)).run()
+        assert a == b
+        assert any(c.kind == "io" for c in a.checkpoints)
+
+    def test_lock_heavy_run(self):
+        config = MachineConfig.scaled(n_cores=4, scheme=Scheme.REBOUND,
+                                      scale=SCALE)
+        compiled = get_workload("raytrace", 4, config, intervals=INTERVALS)
+        assert Machine(config, compiled).run() == \
+            Machine(config, tuple_twin(compiled)).run()
+
+
+class TestWorkloadWireFormat:
+    def test_spec_round_trip(self):
+        config = MachineConfig.scaled(n_cores=4, scale=SCALE)
+        spec = get_workload("raytrace", 4, config, intervals=INTERVALS)
+        clone = WorkloadSpec.from_bytes(spec.to_bytes())
+        assert clone == spec
+
+    def test_bytes_deterministic(self):
+        config = MachineConfig.scaled(n_cores=4, scale=SCALE)
+        a = get_workload("ocean", 4, config, intervals=INTERVALS, seed=7)
+        b = get_workload("ocean", 4, config, intervals=INTERVALS, seed=7)
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_round_trip_simulates_identically(self):
+        config = MachineConfig.scaled(n_cores=4, scheme=Scheme.REBOUND,
+                                      scale=SCALE)
+        spec = get_workload("barnes", 4, config, intervals=INTERVALS)
+        clone = WorkloadSpec.from_bytes(spec.to_bytes())
+        assert Machine(config, clone).run() == Machine(config, spec).run()
+
+    def test_rejects_garbage(self):
+        with pytest.raises(Exception):
+            WorkloadSpec.from_bytes(b"not a workload")
+        with pytest.raises(ValueError):
+            WorkloadSpec.from_bytes(pickle.dumps((999, "x", [], [], [])))
