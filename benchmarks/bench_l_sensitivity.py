@@ -38,3 +38,7 @@ def test_l_sensitivity(benchmark, runner, params):
     for (latency_l, scheme), avail in availabilities.items():
         if scheme == "rebound":
             assert avail >= availabilities[(latency_l, "global")]
+    # Effective (useful-work) availability never exceeds the fault-only
+    # metric: checkpoint overhead is charged on top.
+    for row in result.rows:
+        assert float(row[6].rstrip("%")) <= float(row[5].rstrip("%"))

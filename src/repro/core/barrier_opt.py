@@ -76,7 +76,8 @@ class BarrierCheckpointCoordinator:
                 scheme.delayed_interval_of(core.pid), now)
         dep_file = scheme.files[core.pid]
         interval = dep_file.active.interval_id
-        snap = core.take_snapshot(now)
+        snap = core.take_snapshot(
+            now, overhead_mark=scheme._net_overhead_charged(core))
         machine.log.mark_begin(now, core.pid, snap.ckpt_id)
         n_lines = machine.engine.mark_delayed(core.pid)
         core.pending_delayed = n_lines
@@ -137,6 +138,6 @@ class BarrierCheckpointCoordinator:
             genuine_size=len(barrier.barck_members),
             dirty_lines=dirty_total, duration=release - t_barck))
         # The visible critical-path extension lands on the last arriver.
-        machine.cores[barrier.arrived[-1]].stats.wb_imbalance += \
-            max(0.0, release - now)
+        machine.cores[barrier.arrived[-1]].charge_stall(
+            "wb_imbalance", now, release)
         return release

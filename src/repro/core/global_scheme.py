@@ -68,9 +68,10 @@ class GlobalScheme(BaseScheme):
             self.nacks += 1
             for other in self.machine.cores:
                 self.accelerate_drain(other, now)
-            core.not_before = max(core.not_before,
-                                  min(self.global_busy_until,
-                                      now + self.config.backoff_max))
+            wake = min(self.global_busy_until,
+                       now + self.config.backoff_max)
+            self._charge_backoff(core, now, wake)
+            core.not_before = max(core.not_before, wake)
             return None
         return self._global_checkpoint(core, now, kind="io")
 

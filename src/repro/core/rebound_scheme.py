@@ -130,6 +130,7 @@ class ReboundScheme(BaseScheme):
         if now < core.ckpt_busy_until:
             self.nacks += 1
             self.accelerate_drain(core, now)
+            self._charge_backoff(core, now, core.ckpt_busy_until)
             core.not_before = max(core.not_before, core.ckpt_busy_until)
             return None
         return self.initiate_checkpoint(core, now, kind="io")
@@ -153,6 +154,7 @@ class ReboundScheme(BaseScheme):
             self.nacks += busy_core.pending_delayed > 0
             self.accelerate_drain(busy_core, now)
             backoff = self.rng.randint(1, self.config.backoff_max)
+            self._charge_backoff(core, now, now + backoff)
             core.not_before = max(core.not_before, now + backoff)
             return None
         # Every member rotates to a fresh Dep register set; a member out
@@ -167,7 +169,7 @@ class ReboundScheme(BaseScheme):
             known = [w for w in waits if w is not None]
             wake = max(known) if known and None not in waits else \
                 now + self.rng.randint(1, self.config.backoff_max)
-            core.stats.depset_stall += max(0.0, wake - now)
+            core.charge_stall("depset_stall", now, wake)
             core.not_before = max(core.not_before, wake)
             return None
         # CK?/Ack/Accept traffic: one round trip per closure wave.

@@ -121,14 +121,15 @@ class BaseScheme(DependenceTracker):
         machine.network.send(MessageClass.PROTOCOL, 2 * len(members))
         t_sync = max(stops.values()) + config.sync_cycles
         for core in members:
-            core.stats.ckpt_sync += t_sync - stops[core.pid]
+            core.charge_stall("ckpt_sync", stops[core.pid], t_sync)
         dirty_total = 0
         if not self.use_dwb:
             completions = {}
             intervals = {}
             for core in sorted(members, key=lambda c: c.pid):
                 intervals[core.pid] = self._closed_interval_of(core.pid)
-                snap = core.take_snapshot(t_sync)
+                snap = core.take_snapshot(
+                    t_sync, overhead_mark=self._net_overhead_charged(core))
                 machine.log.mark_begin(t_sync, core.pid, snap.ckpt_id)
                 done, n_lines = machine.engine.checkpoint_writeback(
                     core.pid, t_sync)
@@ -144,8 +145,9 @@ class BaseScheme(DependenceTracker):
                 self._rotate(core.pid, t_end)
                 self._mark_interval_complete(core.pid, interval, t_end)
                 core.instr_since_ckpt = 0
-                core.stats.wb_delay += completions[core.pid] - t_sync
-                core.stats.wb_imbalance += t_end - completions[core.pid]
+                core.charge_stall("wb_delay", t_sync, completions[core.pid])
+                core.charge_stall("wb_imbalance", completions[core.pid],
+                                  t_end)
                 snap.complete_time = t_end
                 self._release_member(core, t_end)
             resume = t_end
@@ -154,7 +156,8 @@ class BaseScheme(DependenceTracker):
             max_completion = t_sync
             for core in sorted(members, key=lambda c: c.pid):
                 interval = self._closed_interval_of(core.pid)
-                snap = core.take_snapshot(t_sync)
+                snap = core.take_snapshot(
+                    t_sync, overhead_mark=self._net_overhead_charged(core))
                 machine.log.mark_begin(t_sync, core.pid, snap.ckpt_id)
                 n_lines = machine.engine.mark_delayed(core.pid)
                 dirty_total += n_lines
@@ -174,6 +177,24 @@ class BaseScheme(DependenceTracker):
     def _release_member(self, core: "Core", resume: float) -> None:
         core.not_before = max(core.not_before, resume)
         core.ckpt_busy_until = max(core.ckpt_busy_until, resume)
+
+    def _net_overhead_charged(self, core: "Core") -> float:
+        """Cumulative net checkpoint-overhead cycles charged to
+        ``core`` so far — the single source for snapshot reclaim marks
+        and the rollback reclaim.  ``ipc_delay`` is only folded into
+        ``CoreStats`` at finalize, so the live engine counter stands in
+        for it here."""
+        return (core.stats.ckpt_overhead_cycles - core.stats.ipc_delay +
+                self.machine.engine.ckpt_wait[core.pid])
+
+    def _charge_backoff(self, core: "Core", now: float,
+                        until: float) -> None:
+        """Attribute a checkpoint-protocol retry/back-off wait ending at
+        ``until`` to the overhead bucket.  Called *before* the caller
+        raises ``core.not_before``: only the part of the wait that
+        actually extends the core's existing stall floor is new overhead
+        (re-charging an already-counted window would double-book it)."""
+        core.charge_stall("ckpt_backoff", max(now, core.not_before), until)
 
     def _start_drain(self, core: "Core", snap, interval: int,
                      n_lines: int, t_sync: float) -> float:
@@ -280,7 +301,29 @@ class BaseScheme(DependenceTracker):
             if core.done:
                 core.stats.end_time = 0.0
                 machine._n_done -= 1
-            wasted += core.rollback_to(snap, resume, detect_time)
+            span = core.rollback_to(snap, resume, detect_time)
+            wasted += span
+            # A member's in-flight stall window ends at the fault: the
+            # recovery bucket owns the core from detection on, so the
+            # pre-charged tail past detect_time is refunded (and must
+            # not feed the reclaim below either).
+            core.truncate_stalls(detect_time)
+            # Useful-work buckets: the discarded span contains checkpoint
+            # stalls that are already charged to the overhead bucket, so
+            # the waste bucket only takes the remainder.  Only overhead
+            # accrued after the span's *start* — the later of the target
+            # snapshot (its overhead_mark) and the previous rollback's
+            # reclaim mark — is reclassified out (clamped to the span),
+            # so pre-snapshot overhead can never zero out genuinely
+            # discarded work, and no cycle lands in two buckets.
+            # RollbackEvent.wasted_cycles stays the gross span (the
+            # paper-facing work-lost metric is unchanged).
+            overhead_now = self._net_overhead_charged(core)
+            baseline = max(core.overhead_reclaim_mark,
+                           snap.overhead_mark)
+            reclaim = min(span, max(0.0, overhead_now - baseline))
+            core.overhead_reclaim_mark = overhead_now
+            core.stats.rollback_waste += span - reclaim
             # Recovery windows of back-to-back faults overlap; count
             # each wall-clock cycle of recovery at most once per core.
             core.stats.recovery += max(0.0, resume -

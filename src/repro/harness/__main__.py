@@ -237,11 +237,12 @@ def sweep_main(argv: list[str]) -> int:
             len(stats.checkpoints),
             len(stats.rollbacks),
             f"{100 * stats.availability():.2f}%",
+            f"{100 * stats.effective_availability():.2f}%",
         ])
     print()
     print(format_table(
         ["app", "cores", "scheme", *axis_names, "runtime (cyc)",
-         "ckpts", "rollbacks", "availability"],
+         "ckpts", "rollbacks", "availability", "eff avail"],
         rows, title=f"Sweep over {', '.join(axis_names)}"))
     print(f"[sweep took {time.time() - start:.1f}s: "
           f"{len(engine.profile)} computed, {engine.disk_hits} from "

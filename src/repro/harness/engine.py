@@ -60,7 +60,11 @@ from repro.workloads import (
 from repro.workloads.registry import is_builtin_workload
 
 #: Bump when the pickled payload layout changes incompatibly.
-CACHE_FORMAT = 1
+#: 2: useful-work accounting — SimStats/CoreStats grew the cycle-bucket
+#:    counters (ckpt_backoff, stall_overhang, rollback_waste), so
+#:    entries pickled before them would deserialize without the fields
+#:    the campaign tables now read.
+CACHE_FORMAT = 2
 
 _PACKAGE_DIR = Path(__file__).resolve().parents[1]
 _REPO_ROOT = Path(__file__).resolve().parents[3]

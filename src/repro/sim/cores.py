@@ -28,6 +28,11 @@ class CoreSnapshot:
     held_locks: frozenset[int]
     barrier_crossings: dict[int, int]
     complete_time: Optional[float] = None   # writebacks (incl. delayed) done
+    #: Cumulative net checkpoint-overhead cycles charged to the core
+    #: when the snapshot was captured: the reclaim baseline of a
+    #: rollback to this snapshot — only overhead charged *after* the
+    #: span's start may be reclassified out of rollback waste.
+    overhead_mark: float = 0.0
 
 
 class Core:
@@ -40,7 +45,7 @@ class Core:
         "not_before", "held_locks", "barrier_crossings", "stats",
         "store_seq", "ckpt_busy_until", "snapshots", "next_ckpt_id",
         "pending_delayed", "delayed_ckpt_id", "waste_charged_until",
-        "recovery_until",
+        "recovery_until", "overhead_reclaim_mark", "stall_segments",
     )
 
     def __init__(self, pid: int, trace):
@@ -87,6 +92,57 @@ class Core:
         # and recovery time before recovery_until was already counted.
         self.waste_charged_until = 0.0
         self.recovery_until = 0.0
+        # Cumulative checkpoint-overhead cycles already attributed at
+        # the last rollback: a discarded span contains checkpoint stalls
+        # too, and those cycles must stay in the overhead bucket rather
+        # than be charged a second time as rollback waste (the useful-
+        # work partition would go negative otherwise).
+        self.overhead_reclaim_mark = 0.0
+        # Wall-clock extents of every charged checkpoint-stall window:
+        # a window that runs past the core's last committed record (the
+        # final checkpoint's sync and writeback tail, an end-of-run
+        # back-off loop) or past a rollback cut displaced no execution,
+        # so its overhang is tracked in ``stats.stall_overhang`` and
+        # netted out of the useful-work overhead bucket.
+        self.stall_segments: list[tuple[float, float]] = []
+
+    def charge_stall(self, field: str, start: float, end: float) -> None:
+        """Charge a checkpoint-stall window to CoreStats ``field`` and
+        remember its wall-clock extent for overhang accounting."""
+        if end <= start:
+            return
+        setattr(self.stats, field, getattr(self.stats, field) +
+                (end - start))
+        self.stall_segments.append((start, end))
+
+    def truncate_stalls(self, cut: float) -> None:
+        """End every in-flight stall window at ``cut`` (a rollback took
+        the core over): the charged tail past the cut goes to
+        ``stall_overhang``, netting it out of the overhead bucket while
+        the gross per-category counters keep the paper-facing values.
+
+        Every segment is then dropped: rollback cuts arrive in
+        non-decreasing detection order and the core's final end time is
+        at least this rollback's resume time, so a window ending at or
+        before ``cut`` can never produce overhang again — keeping it
+        would only grow the list for later rescans."""
+        for start, end in self.stall_segments:
+            if end > cut:
+                self.stats.stall_overhang += \
+                    end - (start if start > cut else cut)
+        self.stall_segments.clear()
+
+    def refund_stall_overhang(self) -> None:
+        """Count stall cycles charged past the core's final end time as
+        overhang (called once by the machine's finalize, after end_time
+        is set): a window that ran past the last committed record
+        displaced no execution, so it must not occupy overhead budget
+        inside the run's [0, runtime] cycle partition."""
+        end_time = self.stats.end_time
+        for start, end in self.stall_segments:
+            overhang = end - (start if start > end_time else end_time)
+            if overhang > 0.0:
+                self.stats.stall_overhang += overhang
 
     # -- values -------------------------------------------------------------
     def next_store_value(self) -> int:
@@ -95,10 +151,12 @@ class Core:
         return (self.pid << 40) | self.store_seq
 
     # -- snapshots ------------------------------------------------------------
-    def take_snapshot(self, now: float) -> CoreSnapshot:
+    def take_snapshot(self, now: float,
+                      overhead_mark: float = 0.0) -> CoreSnapshot:
         snap = CoreSnapshot(
             self.next_ckpt_id, self.ip, self.instr_count, now,
-            frozenset(self.held_locks), dict(self.barrier_crossings))
+            frozenset(self.held_locks), dict(self.barrier_crossings),
+            overhead_mark=overhead_mark)
         self.snapshots.append(snap)
         self.next_ckpt_id += 1
         self.stats.n_checkpoints += 1

@@ -367,6 +367,13 @@ class Machine:
             core.stats.ipc_delay += self.engine.ckpt_wait[pid]
             core.stats.end_time = max(core.stats.end_time, core.time)
         stats.runtime = max((c.end_time for c in stats.cores), default=0.0)
+        # Checkpoint-stall windows charged past a core's last committed
+        # record (a final checkpoint's sync/writeback tail, an
+        # end-of-run back-off loop) displaced no execution: refund the
+        # overhang so the overhead bucket stays inside the run's
+        # runtime x n_cores cycle budget.
+        for core in self.cores:
+            core.refund_stall_overhang()
         stats.total_instructions = sum(c.instr_count for c in self.cores)
         for core in self.cores:
             core.stats.instructions = core.instr_count
@@ -380,6 +387,13 @@ class Machine:
                                     self.faults.outstanding)
         self.scheme.finalize(stats)
         stats.energy_events = dict(self.engine.energy)
+        # Useful-work accounting audit: with the golden coherence checker
+        # on (every unit-test machine), also assert that the four cycle
+        # buckets partition runtime x n_cores exactly and stay
+        # non-negative — a double-charged stall window fails the run
+        # right here instead of skewing a campaign table later.
+        if self.config.check_coherence:
+            stats.verify_cycle_accounting()
         return stats
 
     def unfinished_cores(self) -> list[int]:

@@ -1,0 +1,175 @@
+"""Reusable campaign/accounting invariants.
+
+Machine-checkable assertions over a finished run's :class:`SimStats`
+(and pairs of runs), shared by the differential campaign suite
+(``tests/test_campaign_invariants.py``) and usable by any future
+scenario test: instead of pinning spot values, a test asserts that the
+*accounting identities* hold — cycle buckets partition the run exactly,
+effective availability never exceeds the fault-only metric, every
+injected fault is accounted for, and two representations of the same
+run agree bucket for bucket.
+
+Every helper raises ``AssertionError`` with a self-describing message;
+none of them import pytest, so they work from benchmarks and ad-hoc
+scripts too.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.stats import SimStats
+
+#: The four cycle buckets of the useful-work partition, in table order.
+CYCLE_BUCKETS = ("useful", "checkpoint_overhead", "rollback_waste",
+                 "recovery")
+
+
+def _label(stats: SimStats) -> str:
+    scheme = getattr(stats.scheme, "value", stats.scheme)
+    return f"{stats.workload}/{scheme} x{stats.n_cores}"
+
+
+# ---------------------------------------------------------------------------
+# single-run invariants
+# ---------------------------------------------------------------------------
+
+def assert_cycle_partition(stats: SimStats) -> None:
+    """useful + checkpoint_overhead + rollback_waste + recovery equals
+    runtime x n_cores *exactly*, and no bucket is negative."""
+    buckets = stats.cycle_buckets()
+    assert tuple(buckets) == CYCLE_BUCKETS, \
+        f"{_label(stats)}: bucket keys changed: {tuple(buckets)}"
+    for name, value in buckets.items():
+        assert value >= 0.0, \
+            f"{_label(stats)}: cycle bucket {name} is negative " \
+            f"({value!r}); some cycles were charged twice"
+    total = math.fsum(buckets.values())
+    assert total == stats.total_cycles, \
+        f"{_label(stats)}: buckets sum to {total!r}, " \
+        f"not total_cycles={stats.total_cycles!r}"
+    # The overhead bucket is the gross stall categories net of the
+    # overhang; it can never exceed what the categories recorded.
+    gross = math.fsum(c.wb_delay + c.wb_imbalance + c.ckpt_sync +
+                      c.ipc_delay + c.depset_stall + c.ckpt_backoff
+                      for c in stats.cores)
+    assert stats.checkpoint_overhead_cycles() <= gross + 1e-9, \
+        f"{_label(stats)}: net overhead exceeds gross stall categories"
+
+
+def assert_availability_bounds(stats: SimStats) -> None:
+    """0 <= effective_availability <= availability <= 1 (ulp slack only
+    between the two metrics' float paths)."""
+    effective = stats.effective_availability()
+    raw = stats.availability()
+    assert 0.0 <= effective <= 1.0, \
+        f"{_label(stats)}: effective availability {effective!r} " \
+        f"outside [0, 1]"
+    assert 0.0 <= raw <= 1.0, \
+        f"{_label(stats)}: availability {raw!r} outside [0, 1]"
+    assert effective <= raw or math.isclose(effective, raw,
+                                            rel_tol=1e-12), \
+        f"{_label(stats)}: effective availability {effective!r} " \
+        f"exceeds fault-only availability {raw!r}"
+
+
+def assert_fault_accounting(stats: SimStats) -> None:
+    """Every injected fault is delivered (one rollback) or recorded as
+    undelivered; no rollback is free or impossibly large; undelivered
+    faults can never masquerade as 0-cycle recoveries."""
+    assert 0 <= stats.undelivered_faults <= stats.injected_faults, \
+        f"{_label(stats)}: undelivered={stats.undelivered_faults} vs " \
+        f"injected={stats.injected_faults}"
+    delivered = stats.injected_faults - stats.undelivered_faults
+    assert len(stats.rollbacks) == delivered, \
+        f"{_label(stats)}: {len(stats.rollbacks)} rollbacks for " \
+        f"{delivered} delivered fault(s)"
+    for event in stats.rollbacks:
+        assert event.latency > 0.0, \
+            f"{_label(stats)}: 0-cycle recovery at t=" \
+            f"{event.detect_time} (undelivered fault counted as a " \
+            f"recovery?)"
+        assert 1 <= event.size <= stats.n_cores, \
+            f"{_label(stats)}: |IREC|={event.size} outside [1, n_cores]"
+        assert event.wasted_cycles >= 0.0
+        assert event.max_depth >= 1
+    if stats.undelivered_faults and not stats.rollbacks:
+        # The fake-0-cycle-recovery regression (PR 2): the stats must
+        # refuse to summarize recovery latency rather than report 0.
+        try:
+            stats.mean_recovery_latency()
+        except RuntimeError:
+            pass
+        else:
+            raise AssertionError(
+                f"{_label(stats)}: mean_recovery_latency() did not "
+                f"refuse a run whose only faults were undelivered")
+    # Back-to-back faults must not double-count wall-clock time: per
+    # core, recovery and net discarded work each fit inside the run.
+    for pid, core in enumerate(stats.cores):
+        assert core.recovery <= stats.runtime + 1e-9, \
+            f"{_label(stats)}: core {pid} recovery {core.recovery!r} " \
+            f"exceeds runtime {stats.runtime!r} (overlapping windows " \
+            f"counted twice)"
+        assert core.rollback_waste <= stats.runtime + 1e-9, \
+            f"{_label(stats)}: core {pid} waste {core.rollback_waste!r} " \
+            f"exceeds runtime {stats.runtime!r}"
+    assert stats.work_lost_cycles() <= stats.total_cycles + 1e-9, \
+        f"{_label(stats)}: work lost exceeds total machine cycles"
+
+
+def assert_fault_free(stats: SimStats) -> None:
+    """A run with no faults loses nothing: waste and recovery buckets
+    are exactly zero and fault-only availability is exactly 1."""
+    assert stats.injected_faults == 0 and not stats.rollbacks
+    buckets = stats.cycle_buckets()
+    assert buckets["rollback_waste"] == 0.0
+    assert buckets["recovery"] == 0.0
+    assert stats.availability() == 1.0, \
+        f"{_label(stats)}: fault-free availability != 1"
+
+
+def assert_run_invariants(stats: SimStats) -> None:
+    """All single-run invariants (the differential suite's workhorse)."""
+    assert_cycle_partition(stats)
+    assert_availability_bounds(stats)
+    assert_fault_accounting(stats)
+    if stats.injected_faults == 0:
+        assert_fault_free(stats)
+    # Nothing is ever double-audited away: the engine-side audit must
+    # agree with the assertions above.
+    stats.verify_cycle_accounting()
+
+
+# ---------------------------------------------------------------------------
+# cross-run invariants
+# ---------------------------------------------------------------------------
+
+def assert_bucket_parity(a: SimStats, b: SimStats,
+                         what: str = "runs") -> None:
+    """Two representations of the same run (compiled vs tuple traces,
+    cached vs fresh) agree on every cycle bucket and both metrics."""
+    ab, bb = a.cycle_buckets(), b.cycle_buckets()
+    for name in CYCLE_BUCKETS:
+        assert ab[name] == bb[name], \
+            f"{_label(a)}: {what} disagree on bucket {name}: " \
+            f"{ab[name]!r} != {bb[name]!r}"
+    assert a.effective_availability() == b.effective_availability(), \
+        f"{_label(a)}: {what} disagree on effective availability"
+    assert a.availability() == b.availability(), \
+        f"{_label(a)}: {what} disagree on availability"
+
+
+def assert_monotone(values, label: str, decreasing: bool = False) -> None:
+    """``values`` (in sweep order) never move the wrong way.
+
+    ``decreasing=False`` asserts non-decreasing (recovery latency vs L);
+    ``decreasing=True`` asserts non-increasing (availability vs fault
+    pressure)."""
+    values = list(values)
+    for earlier, later in zip(values, values[1:]):
+        ok = later <= earlier if decreasing else later >= earlier
+        assert ok, \
+            f"{label}: not monotone " \
+            f"{'non-increasing' if decreasing else 'non-decreasing'}: " \
+            f"{values}"

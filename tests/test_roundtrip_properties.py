@@ -1,0 +1,199 @@
+"""Property-based round-trip and canonicalization tests.
+
+Two serialization surfaces back the harness's content-addressed stores:
+the compiled-trace wire format (``CompiledTrace.to_bytes``) and the
+workload wire format (``WorkloadSpec.to_bytes``); and one
+canonicalization backs the disk-cache identity of every overridden run
+(``Overrides``).  Hypothesis drives all three across random inputs:
+arbitrary op/arg streams (empty traces and max-width 64-bit args
+included) must survive a byte round trip unchanged, and overrides built
+in any insertion order must be the same object for every purpose the
+engine puts them to — equality, hashing, repr and the cache path.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.engine import ExperimentEngine, RunKey
+from repro.harness.scenario import Overrides
+from repro.params import Scheme
+from repro.trace import (
+    BARRIER,
+    COMPUTE,
+    END,
+    LOAD,
+    LOCK,
+    OUTPUT,
+    STORE,
+    UNLOCK,
+    CompiledTrace,
+    TraceBuilder,
+    compile_trace,
+)
+from repro.workloads.base import BarrierSpec, LockSpec, WorkloadSpec
+
+I64_MIN, I64_MAX = -(1 << 63), (1 << 63) - 1
+
+OPS = (COMPUTE, LOAD, STORE, BARRIER, LOCK, UNLOCK, OUTPUT, END)
+
+#: Arbitrary records: every op with the full signed-64-bit arg range,
+#: biased toward the extremes (max-width args are the regression case:
+#: sync-region line addresses live beyond 2^40).  COMPUTE args stay
+#: non-negative and bounded so the builder's running instruction count
+#: fits the wire header's unsigned 64-bit field even across 64 records.
+wide_args = st.one_of(st.integers(I64_MIN, I64_MAX),
+                      st.sampled_from([0, 1, I64_MIN, I64_MAX,
+                                       1 << 40, -(1 << 40)]))
+records = st.lists(
+    st.one_of(
+        st.tuples(st.just(COMPUTE), st.integers(0, 1 << 40)),
+        st.tuples(st.sampled_from((LOAD, STORE, BARRIER, LOCK, UNLOCK,
+                                   OUTPUT)), wide_args),
+        # END carries no argument (the tuple-record view renders it
+        # as the 1-tuple ``(END,)``), so its column value is fixed.
+        st.tuples(st.just(END), st.just(0))),
+    min_size=0, max_size=64)
+
+
+def build_trace(pairs) -> CompiledTrace:
+    builder = TraceBuilder()
+    for op, arg in pairs:
+        builder.append(op, arg)
+    return builder.build()
+
+
+class TestCompiledTraceRoundTrip:
+    @given(records)
+    @settings(max_examples=120, deadline=None)
+    def test_to_bytes_from_bytes_identity(self, pairs):
+        trace = build_trace(pairs)
+        clone = CompiledTrace.from_bytes(trace.to_bytes())
+        assert clone == trace
+        assert clone.ops == trace.ops
+        assert clone.args == trace.args
+        assert clone.n_instructions == trace.n_instructions
+        # The wire image is a pure function of the content.
+        assert clone.to_bytes() == trace.to_bytes()
+
+    def test_empty_trace_round_trips(self):
+        empty = compile_trace([])
+        clone = CompiledTrace.from_bytes(empty.to_bytes())
+        assert len(clone) == 0
+        assert clone == empty
+        assert clone.n_instructions == 0
+
+    def test_max_width_args_round_trip(self):
+        trace = build_trace([(LOAD, I64_MAX), (STORE, I64_MIN),
+                             (COMPUTE, I64_MAX), (OUTPUT, I64_MAX)])
+        clone = CompiledTrace.from_bytes(trace.to_bytes())
+        assert list(clone.args) == [I64_MAX, I64_MIN, I64_MAX, I64_MAX]
+
+
+#: Workloads assembled from random traces plus a random sync plan.
+workloads = st.builds(
+    lambda name, traces, locks, barriers: WorkloadSpec(
+        name=name,
+        traces=[build_trace(t) for t in traces],
+        locks=[LockSpec(i, line) for i, line in enumerate(locks)],
+        barriers=[BarrierSpec(i, list(range(len(traces) or 1)), c, f)
+                  for i, (c, f) in enumerate(barriers)]),
+    st.text(min_size=0, max_size=12),
+    st.lists(records, min_size=0, max_size=4),
+    st.lists(st.integers(0, I64_MAX), max_size=3),
+    st.lists(st.tuples(st.integers(0, I64_MAX),
+                       st.integers(0, I64_MAX)), max_size=2))
+
+
+class TestWorkloadSpecRoundTrip:
+    @given(workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_to_bytes_from_bytes_identity(self, spec):
+        clone = WorkloadSpec.from_bytes(spec.to_bytes())
+        assert clone == spec
+        # Byte-for-byte deterministic: the store's address contract.
+        assert clone.to_bytes() == spec.to_bytes()
+
+    @given(workloads)
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_independent_of_trace_representation(self, spec):
+        """Tuple-trace and compiled-trace twins serialize identically
+        (to_bytes compiles through the same IR)."""
+        twin = WorkloadSpec(name=spec.name,
+                            traces=[list(t) for t in spec.traces],
+                            locks=spec.locks, barriers=spec.barriers)
+        assert twin.to_bytes() == spec.to_bytes()
+
+
+#: Overridable scalar axes (name -> value strategy), dotted nested
+#: fields included: the canonical-ordering property must hold across
+#: the whole namespace, not just top-level fields.
+OVERRIDE_AXES = {
+    "detection_latency": st.integers(1, 10**6),
+    "memory_cycles": st.integers(1, 10**4),
+    "checkpoint_interval": st.integers(1, 10**7),
+    "sync_cycles": st.integers(1, 10**4),
+    "backoff_max": st.integers(1, 10**4),
+    "barrier_interest_fraction": st.floats(0.0, 1.0,
+                                           allow_nan=False),
+    "check_coherence": st.booleans(),
+    "l1.size_bytes": st.integers(64, 1 << 20),
+    "l2.hit_cycles": st.integers(1, 64),
+}
+
+override_mappings = st.dictionaries(
+    st.sampled_from(sorted(OVERRIDE_AXES)),
+    st.integers(0, 0),   # placeholder, re-drawn below
+    min_size=1, max_size=5,
+).flatmap(lambda d: st.fixed_dictionaries(
+    {name: OVERRIDE_AXES[name] for name in d}))
+
+
+class TestOverridesCanonicalization:
+    @given(override_mappings, st.randoms(use_true_random=False))
+    @settings(max_examples=80, deadline=None)
+    def test_insertion_order_never_matters(self, mapping, rng):
+        items = list(mapping.items())
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        a = Overrides(dict(items))
+        b = Overrides(dict(shuffled))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert repr(a) == repr(b)
+        assert list(a.items()) == sorted(mapping.items())
+
+    @given(override_mappings, st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_equal_overrides_share_one_cache_path(self, mapping, rng):
+        """The disk-cache identity must not depend on how the scenario
+        dict was assembled: same overrides => same entry."""
+        shuffled = list(mapping.items())
+        rng.shuffle(shuffled)
+        # Path derivation only (no disk I/O): any cache_dir works.
+        engine = ExperimentEngine(jobs=1, use_disk_cache=False,
+                                  cache_dir="unused-cache-dir")
+        key_a = RunKey("blackscholes", 4, Scheme.REBOUND, 1.5, 1, 300,
+                       overrides=Overrides(mapping))
+        key_b = RunKey("blackscholes", 4, Scheme.REBOUND, 1.5, 1, 300,
+                       overrides=Overrides(dict(shuffled)))
+        assert key_a == key_b
+        assert engine._cache_path(key_a) == engine._cache_path(key_b)
+
+    def test_kwargs_and_mapping_agree(self):
+        assert Overrides(detection_latency=7, sync_cycles=9) == \
+            Overrides({"sync_cycles": 9, "detection_latency": 7})
+
+    def test_mixed_sources_canonicalize(self):
+        rng = random.Random(4)
+        names = sorted(OVERRIDE_AXES)
+        rng.shuffle(names)
+        mapping = {"l1.size_bytes": 4096, "detection_latency": 123,
+                   "check_coherence": True}
+        variants = [Overrides(dict(reversed(list(mapping.items())))),
+                    Overrides({k: mapping[k] for k in
+                               sorted(mapping, key=str.lower)}),
+                    Overrides(mapping)]
+        assert len({repr(v) for v in variants}) == 1
+        assert len({hash(v) for v in variants}) == 1
