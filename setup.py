@@ -1,5 +1,23 @@
-"""Setup shim for environments without PEP 517 editable-install support."""
+"""Setup shim for environments without PEP 517 editable-install support.
 
-from setuptools import setup
+The simulator itself is pure standard library.  numpy is an optional
+extra (``pip install repro[vector]``) that unlocks the vectorized
+multi-replica campaign executor (:mod:`repro.sim.vector`); without it
+every campaign runs through the scalar kernel, bit-identically, with a
+one-line warning from the engine when a batch falls back.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.6.0",
+    description=("Rebound (ISCA 2011) checkpointing simulator "
+                 "reproduction"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    extras_require={
+        "vector": ["numpy"],
+    },
+)

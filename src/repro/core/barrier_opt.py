@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.interconnect import MessageClass
+from repro.sim.events import DurableCall
 from repro.sim.stats import CheckpointEvent
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -124,11 +125,12 @@ class BarrierCheckpointCoordinator:
                 release = max(release, completion)
             else:
                 # With DWB support the drain keeps running past the
-                # barrier, exactly like an interval checkpoint's.
-                machine.schedule(
+                # barrier, exactly like an interval checkpoint's
+                # (durable, so forked replicas complete their own).
+                machine.schedule_call(
                     completion,
-                    lambda t, p=pid, c=ckpt_id, i=interval:
-                        scheme._complete_drain(p, c, i, t))
+                    DurableCall("scheme", "_complete_drain",
+                                (pid, ckpt_id, interval)))
         release += config.sync_cycles
         initiator = barrier.barck_initiator
         machine.stats.checkpoints.append(CheckpointEvent(

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.coherence.protocol import DependenceTracker
 from repro.interconnect import MessageClass
+from repro.sim.events import DurableCall
 from repro.sim.stats import CheckpointEvent, RollbackEvent
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -212,12 +213,12 @@ class BaseScheme(DependenceTracker):
             machine.channels.bg_account(t_sync, n_lines, drain)
         self._rotate(core.pid, t_sync)
         core.instr_since_ckpt = 0
-        pid, ckpt_id = core.pid, snap.ckpt_id
-
-        def complete(t: float) -> None:
-            self._complete_drain(pid, ckpt_id, interval, t)
-
-        machine.schedule(completion, complete)
+        # Durable (fork-safe) completion: the callback re-binds to
+        # whatever machine fires it, so a forked replica's pending
+        # drains complete inside the fork, not the parent.
+        machine.schedule_call(
+            completion, DurableCall("scheme", "_complete_drain",
+                                    (core.pid, snap.ckpt_id, interval)))
         return completion
 
     def _complete_drain(self, pid: int, ckpt_id: int, interval: int,
@@ -249,12 +250,10 @@ class BaseScheme(DependenceTracker):
         fast = now + core.pending_delayed * self.config.dwb_fast_period
         if fast < core.ckpt_busy_until:
             core.ckpt_busy_until = fast
-            pid = core.pid
-            ckpt_id = core.delayed_ckpt_id
-            interval = self._drain_interval_for(core)
-            self.machine.schedule(
-                fast, lambda t: self._complete_drain(pid, ckpt_id,
-                                                     interval, t))
+            self.machine.schedule_call(
+                fast, DurableCall("scheme", "_complete_drain",
+                                  (core.pid, core.delayed_ckpt_id,
+                                   self._drain_interval_for(core))))
 
     def _drain_interval_for(self, core: "Core") -> int:
         return self.delayed_interval_of(core.pid)

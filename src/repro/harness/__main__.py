@@ -18,6 +18,7 @@ Options::
     -j / --jobs N      worker processes (default REPRO_JOBS or CPU count)
     --cache-dir DIR    result cache location (default benchmarks/.cache)
     --no-cache         bypass the persistent result cache
+    --no-vector        force scalar campaign runs (REPRO_VECTOR=0)
     --profile          print a per-run wall-clock table at the end
 
 Fault campaigns get their own subcommand (see ``campaign --help``)::
@@ -79,12 +80,21 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                              "benchmarks/.cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent result cache")
+    parser.add_argument("--vector", dest="vector", action="store_true",
+                        default=None,
+                        help="batch same-workload fault replicas through "
+                             "the vectorized executor (default: on when "
+                             "numpy is available)")
+    parser.add_argument("--no-vector", dest="vector", action="store_false",
+                        help="force scalar campaign runs (same as "
+                             "REPRO_VECTOR=0)")
 
 
 def _build_engine_and_runner(args) -> tuple[ExperimentEngine, Runner]:
     engine = ExperimentEngine(
         jobs=args.jobs, cache_dir=args.cache_dir,
-        use_disk_cache=False if args.no_cache else None, verbose=True)
+        use_disk_cache=False if args.no_cache else None, verbose=True,
+        vector=args.vector)
     runner = Runner(scale=args.scale, intervals=args.intervals,
                     verbose=True, engine=engine)
     return engine, runner
@@ -338,7 +348,7 @@ def main(argv: list[str] | None = None) -> int:
         total = sum(engine.profile.values())
         print(format_table(
             ["app", "cores", "scheme", "io_every", "fault_at", "cluster",
-             "overrides", "wall s"],
+             "overrides", "batch", "wall s"],
             rows, title=f"Per-run wall clock ({len(rows)} computed runs, "
                         f"{total:.1f}s total, {engine.disk_hits} disk-"
                         f"cache hits)"))

@@ -25,12 +25,27 @@ compiled-trace IR bytes instead of re-running ``SyntheticWorkload`` per
 run.  ``--no-cache`` (``REPRO_NO_CACHE=1``) disables it along with the
 result cache.
 
+Vectorized campaign batches: ``run_many`` groups the missing keys by
+everything except their faults — (workload, cores, scheme, intervals,
+seed, scale, io_every, cluster, overrides) — and dispatches any group
+with two or more members to the replica-batch executor
+(:mod:`repro.sim.vector`): one fault-free leader machine walks the
+shared workload once and each replica forks off it at its first
+fault-detection time, producing bit-identical per-replica ``SimStats``.
+Results are memoized and disk-cached *per key*, exactly like scalar
+runs, so the cache format, the invariant harness and the campaign
+summaries see no difference.  ``REPRO_VECTOR=0`` (or ``--vector=off``
+mapped through the CLI's ``--no-vector``) forces the scalar path;
+without numpy the engine falls back to scalar runs with a one-line
+warning.
+
 Knobs (CLI flags on ``python -m repro.harness`` map onto the same
 settings)::
 
     REPRO_JOBS        worker processes (default: os.cpu_count())
     REPRO_CACHE_DIR   result cache location (default: benchmarks/.cache)
     REPRO_NO_CACHE    set to 1 to bypass the disk cache entirely
+    REPRO_VECTOR      0 forces scalar campaign runs; unset/1 = auto
 """
 
 from __future__ import annotations
@@ -50,7 +65,8 @@ from repro.harness.workload_store import WorkloadStore
 from repro.params import MachineConfig, Scheme
 from repro.sim import SimStats
 from repro.sim.faults import FaultPlan
-from repro.sim.machine import Machine
+from repro.sim.machine import Machine, UnforkableMachineError
+from repro.sim.vector import have_numpy
 from repro.workloads import (
     get_workload,
     inject_output_io,
@@ -172,6 +188,42 @@ def execute_run(key: RunKey,
     return Machine(config, workload, faults=key.fault_list()).run()
 
 
+def execute_batch(keys: list[RunKey],
+                  store: Optional[WorkloadStore] = None,
+                  ) -> tuple[list[SimStats], bool]:
+    """Run a same-workload replica group through the vector executor.
+
+    ``keys`` must agree on every :class:`RunKey` field except their
+    faults (``run_many`` groups them that way); the shared workload is
+    built (and io-injected) once and each key's fault list becomes one
+    replica of the batch.  Returns the per-key stats in input order
+    plus a flag saying whether the batch *fell back* to scalar runs —
+    which happens when the machine cannot be forked (an out-of-tree
+    scheme scheduled a legacy closure callback) or numpy is missing;
+    either way the stats are the same bit-identical results
+    ``execute_run`` would produce.
+    """
+    from repro.sim.vector import run_replica_batch
+
+    config = resolve_config(keys[0])
+    if store is not None:
+        workload = store.get_or_build(keys[0].app, keys[0].n_cores, config,
+                                      keys[0].intervals, keys[0].seed)
+    else:
+        workload = get_workload(keys[0].app, keys[0].n_cores, config,
+                                intervals=keys[0].intervals,
+                                seed=keys[0].seed)
+    if keys[0].io_every is not None:
+        workload = inject_output_io(spec=workload, pid=0,
+                                    every_instructions=keys[0].io_every)
+    fault_lists = [key.fault_list() or [] for key in keys]
+    try:
+        result = run_replica_batch(config, workload, fault_lists)
+    except (UnforkableMachineError, ImportError):
+        return [execute_run(key, store) for key in keys], True
+    return result.stats, False
+
+
 #: One store instance per root per worker process: pool tasks arrive as
 #: plain (key, root) calls, and a fresh store per task would reset the
 #: ``disabled`` write-failure latch — an unwritable store must warn and
@@ -195,6 +247,15 @@ def _timed_run(key: RunKey,
     start = time.perf_counter()
     stats = execute_run(key, store)
     return stats, time.perf_counter() - start
+
+
+def _timed_batch(keys: list[RunKey], store_root: Optional[str] = None,
+                 ) -> tuple[list[SimStats], float, bool]:
+    """Worker entry point for one replica batch (stats, wall, fell_back)."""
+    store = _worker_store(store_root)
+    start = time.perf_counter()
+    stats, fell_back = execute_batch(keys, store)
+    return stats, time.perf_counter() - start, fell_back
 
 
 _FINGERPRINT: Optional[str] = None
@@ -256,7 +317,8 @@ class ExperimentEngine:
     def __init__(self, jobs: Optional[int] = None,
                  cache_dir: Optional[os.PathLike] = None,
                  use_disk_cache: Optional[bool] = None,
-                 verbose: bool = False):
+                 verbose: bool = False,
+                 vector: Optional[bool] = None):
         self.jobs = max(1, jobs if jobs is not None else default_jobs())
         self.cache_dir = Path(cache_dir) if cache_dir is not None \
             else default_cache_dir()
@@ -269,9 +331,22 @@ class ExperimentEngine:
             WorkloadStore(self.cache_dir / "workloads")
             if use_disk_cache else None)
         self.verbose = verbose
+        if vector is None:
+            env = os.environ.get("REPRO_VECTOR")
+            if env is not None and env != "":
+                vector = env not in ("0", "off", "false", "no")
+        #: The *request* (None = auto): distinguishes "user said no"
+        #: from "numpy is missing" for the fallback warning below.
+        self._vector_requested = vector
+        #: Whether replica batches actually go through the vector path.
+        self.vector = (vector if vector is not None else True) \
+            and have_numpy()
+        self._vector_warned = False
         self.memo: dict[RunKey, SimStats] = {}
         #: Wall-clock seconds per key *computed* this session (not cached).
         self.profile: dict[RunKey, float] = {}
+        #: Replica-batch width each computed key ran at (1 = scalar).
+        self.batch_width: dict[RunKey, int] = {}
         self.disk_hits = 0
         self._store_warned = False
 
@@ -361,15 +436,70 @@ class ExperimentEngine:
             else:
                 missing.append(key)
         self._prepare_workloads(missing)
+        tasks = self._plan_tasks(missing)
         if len(missing) > 1 and self.jobs > 1:
-            self._run_parallel(missing)
+            self._run_parallel(tasks, len(missing))
         else:
-            for key in missing:
-                self._announce(key)
+            for task in tasks:
                 start = time.perf_counter()
-                stats = execute_run(key, self.workload_store)
-                self._finish(key, stats, time.perf_counter() - start)
+                if isinstance(task, list):
+                    self._announce_batch(task)
+                    stats_list, fell_back = execute_batch(
+                        task, self.workload_store)
+                    self._finish_batch(task, stats_list,
+                                       time.perf_counter() - start,
+                                       fell_back)
+                else:
+                    self._announce(task)
+                    stats = execute_run(task, self.workload_store)
+                    self._finish(task, stats,
+                                 time.perf_counter() - start)
         return {key: self.memo[key] for key in unique}
+
+    @staticmethod
+    def _batch_key(key: RunKey) -> tuple:
+        """Replica-group identity: everything but the faults.  Keys that
+        agree here run the *same* machine up to their first
+        fault-detection point, which is exactly what the vector executor
+        shares."""
+        return (key.app, key.n_cores, key.scheme, key.intervals, key.seed,
+                key.scale, key.io_every, key.cluster, key.overrides)
+
+    def _plan_tasks(self, missing: list[RunKey]) -> list:
+        """The execution plan: each element is a lone :class:`RunKey`
+        (scalar run) or a ``list[RunKey]`` (replica batch of two or
+        more), placed at its first member's position in ``missing`` so
+        serial execution keeps the submission order — a failing task
+        never masks work listed before it.  With vectorization off (or
+        unavailable) every key is a single; a one-line warning fires
+        once when batches *would* have formed but numpy is missing and
+        the user didn't opt out."""
+        groups: dict[tuple, list[RunKey]] = {}
+        for key in missing:
+            groups.setdefault(self._batch_key(key), []).append(key)
+        if not self.vector:
+            if (any(len(group) >= 2 for group in groups.values())
+                    and not have_numpy()
+                    and self._vector_requested is not False
+                    and not self._vector_warned):
+                self._vector_warned = True
+                print("  [engine] warning: numpy unavailable; campaign "
+                      "batches fall back to scalar runs "
+                      "(pip install repro[vector])", flush=True)
+            return list(missing)
+        tasks: list = []
+        emitted: set = set()
+        for key in missing:
+            ident = self._batch_key(key)
+            if ident in emitted:
+                continue
+            group = groups[ident]
+            if len(group) >= 2:
+                tasks.append(group)
+                emitted.add(ident)
+            else:
+                tasks.append(key)
+        return tasks
 
     def _prepare_workloads(self, missing: list[RunKey]) -> None:
         """Prebuild each workload that several missing runs *share*.
@@ -419,38 +549,53 @@ class ExperimentEngine:
             print(f"  [engine] prebuilt {built} of {shared} shared "
                   f"workload(s) for {len(missing)} runs", flush=True)
 
-    def _run_parallel(self, missing: list[RunKey]) -> None:
-        workers = min(self.jobs, len(missing))
+    def _run_parallel(self, tasks: list, n_runs: int) -> None:
+        n_batches = sum(1 for task in tasks if isinstance(task, list))
+        workers = min(self.jobs, len(tasks))
         if self.verbose:  # pragma: no cover - progress printing
-            print(f"  [engine] {len(missing)} runs on {workers} workers "
-                  f"...", flush=True)
+            print(f"  [engine] {n_runs} runs ({n_batches} batches, "
+                  f"{len(tasks) - n_batches} singles) on {workers} "
+                  f"workers ...", flush=True)
         store_root = str(self.workload_store.root) \
             if self.workload_store is not None else None
         failures: list[tuple[RunKey, BaseException]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_timed_run, key, store_root): key
-                       for key in missing}
+            futures: dict = {}
+            for task in tasks:
+                if isinstance(task, list):
+                    futures[pool.submit(_timed_batch, task,
+                                        store_root)] = task
+                else:
+                    futures[pool.submit(_timed_run, task,
+                                        store_root)] = task
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    key = futures[future]
+                    task = futures[future]
                     try:
-                        stats, seconds = future.result()
+                        result = future.result()
                     except BaseException as exc:  # noqa: BLE001
                         # Keep draining so completed siblings still land
                         # in the cache; collect *every* failing key so
                         # one bad run doesn't mask its siblings (worker
                         # tracebacks don't carry argument values).
-                        failures.append((key, exc))
+                        first = task[0] if isinstance(task, list) else task
+                        failures.append((first, exc))
                         continue
-                    self._finish(key, stats, seconds)
+                    if isinstance(task, list):
+                        stats_list, seconds, fell_back = result
+                        self._finish_batch(task, stats_list, seconds,
+                                           fell_back)
+                    else:
+                        stats, seconds = result
+                        self._finish(task, stats, seconds)
         if failures:
             lines = [f"  {self._describe(key)}: {exc!r}"
                      for key, exc in failures]
             raise RuntimeError(
                 f"simulation failed for {len(failures)} of "
-                f"{len(missing)} run(s):\n" + "\n".join(lines)
+                f"{n_runs} run(s):\n" + "\n".join(lines)
                 ) from failures[0][1]
 
     @staticmethod
@@ -467,6 +612,13 @@ class ExperimentEngine:
             print(f"  running {workload_name(key.app)} x{key.n_cores} "
                   f"{key.scheme.value} ...", flush=True)
 
+    def _announce_batch(self, group: list[RunKey]) -> None:
+        if self.verbose:  # pragma: no cover - progress printing
+            key = group[0]
+            print(f"  running {workload_name(key.app)} x{key.n_cores} "
+                  f"{key.scheme.value} [batch of {len(group)}] ...",
+                  flush=True)
+
     def _finish(self, key: RunKey, stats: SimStats, seconds: float) -> None:
         self.memo[key] = stats
         self.profile[key] = seconds
@@ -476,6 +628,22 @@ class ExperimentEngine:
                   f"x{key.n_cores} {key.scheme.value} ({seconds:.1f}s)",
                   flush=True)
 
+    def _finish_batch(self, group: list[RunKey], stats_list: list[SimStats],
+                      seconds: float, fell_back: bool) -> None:
+        """Land a replica batch: cache entries are written *per key* (no
+        format change), the batch wall-clock is attributed evenly, and a
+        fallback batch records width 1 so ``--profile`` tells the truth."""
+        width = 1 if fell_back else len(group)
+        if fell_back and not self._vector_warned:
+            self._vector_warned = True
+            print(f"  [engine] warning: replica batch of {len(group)} "
+                  f"fell back to scalar runs (unforkable machine)",
+                  flush=True)
+        share = seconds / len(group)
+        for key, stats in zip(group, stats_list):
+            self.batch_width[key] = width
+            self._finish(key, stats, share)
+
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
@@ -484,7 +652,9 @@ class ExperimentEngine:
 
         ``cluster`` and ``overrides`` are part of a run's identity, so
         without them two sweep grid points are indistinguishable in the
-        profile table.
+        profile table.  ``batch`` is the replica-batch width the run was
+        computed at (1 = scalar; batched runs report their share of the
+        batch's wall clock).
         """
         rows = []
         for key, seconds in sorted(self.profile.items(),
@@ -503,5 +673,6 @@ class ExperimentEngine:
                          faults,
                          key.cluster,
                          overrides,
+                         self.batch_width.get(key, 1),
                          f"{seconds:.2f}"])
         return rows

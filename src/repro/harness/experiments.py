@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from functools import lru_cache
 from statistics import mean
 from typing import NamedTuple, Optional
 
@@ -428,6 +429,23 @@ def parse_variant(token: str) -> CampaignVariant:
     return CampaignVariant(token, scheme, size)
 
 
+@lru_cache(maxsize=None)
+def _seeded_plans(n_cores: int, n_seeds: int, base_seed: int,
+                  mttf: float, horizon: float) -> tuple[FaultPlan, ...]:
+    """Seed-deterministic plan set, built once per distinct cell.
+
+    fig6_9, fig_l sensitivity points and the invariant benchmarks all
+    draw the *same* plans (same seeds, same fault process); sharing the
+    frozen :class:`FaultPlan` instances also makes the RunKeys they key
+    compare by identity first.  The cache key is scalars only — runner
+    state is resolved by the caller — so it is exact, and the plans are
+    immutable so sharing them is safe.
+    """
+    return tuple(FaultPlan.from_mttf(seed=base_seed + i, mttf=mttf,
+                                     horizon=horizon, n_cores=n_cores)
+                 for i in range(n_seeds))
+
+
 def _campaign_plans(runner: Runner, n_cores: int, n_seeds: int,
                     base_seed: int, mttf_intervals: float
                     ) -> list[FaultPlan]:
@@ -441,11 +459,9 @@ def _campaign_plans(runner: Runner, n_cores: int, n_seeds: int,
     reports rather than hides).
     """
     interval = _configured_interval(runner, n_cores)
-    mttf = mttf_intervals * interval
-    horizon = runner.intervals * interval
-    return [FaultPlan.from_mttf(seed=base_seed + i, mttf=mttf,
-                                horizon=horizon, n_cores=n_cores)
-            for i in range(n_seeds)]
+    return list(_seeded_plans(n_cores, n_seeds, base_seed,
+                              mttf_intervals * interval,
+                              runner.intervals * interval))
 
 
 def fig6_9_campaign(runner: Runner, apps: list[str] | None = None,

@@ -1,0 +1,43 @@
+"""Fork-safe scheduled callbacks for the machine's event heap.
+
+Closures capture ``self``/core references, so ``copy.deepcopy`` (which
+treats functions as atomic) would leave a forked machine's heap firing
+into the *original* machine.  A :class:`DurableCall` instead names its
+target symbolically — ``"machine"`` or ``"scheme"`` plus a method name
+and plain-data args — and resolves it against whichever machine fires
+it.  This is what makes :meth:`repro.sim.machine.Machine.fork` sound:
+every pending built-in callback re-binds to the clone automatically.
+
+Lives in its own tiny module so both the machine and the scheme layer
+can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+
+class DurableCall:
+    """A deepcopy/pickle-safe scheduled callback (immutable)."""
+
+    __slots__ = ("target", "method", "args")
+
+    def __init__(self, target: str, method: str, args: tuple):
+        if target not in ("machine", "scheme"):
+            raise ValueError(f"unknown DurableCall target {target!r}")
+        self.target = target
+        self.method = method
+        self.args = args
+
+    def fire(self, machine: "Machine", when: float) -> None:
+        obj = machine if self.target == "machine" else machine.scheme
+        getattr(obj, self.method)(*self.args, when)
+
+    def __deepcopy__(self, memo):
+        return self  # immutable plain data: forks share it
+
+    def __repr__(self) -> str:
+        return f"DurableCall({self.target}.{self.method}{self.args})"

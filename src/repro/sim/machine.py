@@ -24,6 +24,7 @@ and the parity tests compare the two.
 
 from __future__ import annotations
 
+import copy
 import heapq
 from typing import Callable, Optional
 
@@ -34,6 +35,7 @@ from repro.interconnect import Interconnect
 from repro.mem import MainMemory, MemoryChannels, ReviveLog
 from repro.params import MachineConfig
 from repro.sim.cores import Core
+from repro.sim.events import DurableCall
 from repro.sim.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.sim.stats import SimStats
 from repro.sim.sync import SyncManager
@@ -51,11 +53,29 @@ from repro.trace import (
 from repro.workloads.base import WorkloadSpec
 
 _EXEC = 0
-_CALL = 1
+_CALL = 1      # legacy closure callback (out-of-tree schemes, tests)
+_DCALL = 2     # durable descriptor callback (fork-safe)
+_PAUSE = 3     # replica-batch pause sentinel (never observable)
+
+#: Sentinel seq base: more negative than any fault seq, so a pause
+#: fires before a same-time fault would in a true run (the fork then
+#: replays the fault first inside the spilled machine).
+_PAUSE_SEQ_BASE = -(10 ** 15)
+
+#: Fork-injected fault events sort after sentinels but before every
+#: normal heap entry at the same timestamp — exactly the order the
+#: scalar run produces by scheduling faults first (seqs 1..F).
+_FAULT_SEQ_BASE = -(10 ** 9)
 
 
 class SimulationDeadlock(RuntimeError):
     """No runnable core remains while work is outstanding."""
+
+
+class UnforkableMachineError(RuntimeError):
+    """The machine holds state a fork cannot clone faithfully (e.g. a
+    pending closure callback scheduled via :meth:`Machine.schedule` by
+    an out-of-tree scheme); the caller must fall back to scalar runs."""
 
 
 #: Records fused per heap residency before a forced re-push (fairness
@@ -110,6 +130,12 @@ class Machine:
         self._heap: list[tuple] = []
         self._seq = 0
         self._n_done = 0
+        # Phased-run state: "init" (not started), "main" (application
+        # loop), "drain" (post-run background work), "done".
+        self._phase = "init"
+        self._pause_seq = _PAUSE_SEQ_BASE
+        self._limit = float("inf")
+        self._max_cycles: Optional[float] = None
         self.now = 0.0
         self.stats = SimStats(config=config, scheme=config.scheme,
                               workload=workload.name)
@@ -129,9 +155,25 @@ class Machine:
                        (when, self._seq, _EXEC, core.pid, core.epoch))
 
     def schedule(self, when: float, callback: Callable[[float], None]) -> None:
-        """Run ``callback(time)`` at simulated time ``when``."""
+        """Run ``callback(time)`` at simulated time ``when``.
+
+        Closure-based (legacy) entry point: still supported for
+        out-of-tree schemes and tests, but a machine with such a
+        callback pending cannot be forked (see :meth:`fork`); the
+        built-in schemes schedule through :meth:`schedule_call`.
+        """
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, _CALL, callback, None))
+
+    def schedule_call(self, when: float, call: DurableCall) -> None:
+        """Run ``call.fire(self, time)`` at simulated time ``when``
+        (the fork-safe scheduling primitive)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, _DCALL, call, None))
+
+    def _deliver_fault_at(self, index: int, when: float) -> None:
+        """Durable fault delivery: event ``index`` of the injector."""
+        self._deliver_fault(self.faults.events[index], when)
 
     def _deliver_fault(self, event: FaultEvent, when: float) -> None:
         """Heap callback firing exactly at ``event.detect_time``.
@@ -153,32 +195,79 @@ class Machine:
     def run(self, max_cycles: Optional[float] = None) -> SimStats:
         """Drive the event loop to completion and assemble the stats.
 
-        The trace executor is inlined into the pop loop (every local is
-        bound once per run, not once per record): on each pop the owning
-        core executes records until it blocks, stalls, or another heap
-        event becomes due at or before its next record — the fused
-        continuation re-runs the per-pop bookkeeping (clock, cycle
-        guard) inline, so results are bit-identical to the
-        one-record-per-pop discipline (``fuse_quantum=1``).  Fault
-        delivery needs no bookkeeping here: faults are heap events, so
-        they both break fusion and pop at their exact detection times.
+        Equivalent to ``start(); advance(); finalize()`` — the phased
+        form exists so the replica-batch executor
+        (:mod:`repro.sim.vector`) can pause a fault-free leader machine
+        at each replica's first fault-detection time and fork it.
         """
-        limit = max_cycles if max_cycles is not None else float("inf")
+        self.start(max_cycles)
+        self.advance()
+        return self.finalize()
+
+    def start(self, max_cycles: Optional[float] = None) -> None:
+        """Schedule the initial events; the machine becomes advanceable."""
+        if self._phase != "init":
+            raise RuntimeError(f"machine already started ({self._phase})")
+        self._max_cycles = max_cycles
+        self._limit = max_cycles if max_cycles is not None else float("inf")
         # Faults are first-class heap events at their exact detection
         # times: the fusion condition consults the heap, so a batch
         # always breaks before a fault is due and no core can commit
         # work past a detect_time before the scheme hears about it.
         # Scheduled before the initial core pushes so a fault beats any
         # trace record carrying the same timestamp.
-        for event in self.faults.pending:
-            self.schedule(event.detect_time,
-                          lambda t, e=event: self._deliver_fault(e, t))
+        for index, event in enumerate(self.faults.events):
+            self.schedule_call(event.detect_time,
+                               DurableCall("machine", "_deliver_fault_at",
+                                           (index,)))
         for core in self.cores:
             if not core.trace:
                 core.done = True
                 self._n_done += 1
             else:
                 self.push_core(core)
+        self._phase = "main"
+
+    def _cycle_limit_exceeded(self) -> RuntimeError:
+        return RuntimeError(
+            f"simulation exceeded {self._max_cycles:,.0f} cycles")
+
+    def advance(self, pause_at: Optional[float] = None) -> bool:
+        """Drive the event loop; returns True if paused, False if done.
+
+        With ``pause_at`` a sentinel heap entry is planted at that time:
+        its presence gives the fused executor exactly the fusion horizon
+        a pending fault at the same time would (the condition only reads
+        ``heap[0][0]``), and popping it suspends the loop with the
+        machine in precisely the state a true run with such a fault has
+        at the moment the fault fires.  The sentinel never advances the
+        clock and is stripped from forks, so it is unobservable.
+
+        The trace executor is inlined into the pop loop (every local is
+        bound once per call, not once per record): on each pop the
+        owning core executes records until it blocks, stalls, or
+        another heap event becomes due at or before its next record —
+        the fused continuation re-runs the per-pop bookkeeping (clock,
+        cycle guard) inline, so results are bit-identical to the
+        one-record-per-pop discipline (``fuse_quantum=1``).  Fault
+        delivery needs no bookkeeping here: faults are heap events, so
+        they both break fusion and pop at their exact detection times.
+        """
+        if self._phase == "init":
+            raise RuntimeError("machine not started")
+        if pause_at is not None:
+            self._pause_seq -= 1
+            heapq.heappush(self._heap,
+                           (pause_at, self._pause_seq, _PAUSE, None, None))
+        if self._phase == "main" and not self._advance_main():
+            return True
+        if self._phase == "drain" and not self._advance_drain():
+            return True
+        return False
+
+    def _advance_main(self) -> bool:
+        """Application loop; returns False when paused mid-phase."""
+        limit = self._limit
         heap = self._heap
         heappop = heapq.heappop
         heappush = heapq.heappush
@@ -195,14 +284,24 @@ class Machine:
             if not heap:
                 self._diagnose_deadlock()
             when, _, kind, a, b = heappop(heap)
+            if kind != _EXEC:
+                if kind == _PAUSE:
+                    # Unobservable: the clock stays at the last real
+                    # event (a true run only advances it on real pops).
+                    return False
+                if when > self.now:
+                    self.now = when
+                if when > limit:
+                    raise self._cycle_limit_exceeded()
+                if kind == _DCALL:
+                    a.fire(self, when)
+                else:
+                    a(when)
+                continue
             if when > self.now:
                 self.now = when
             if when > limit:
-                raise RuntimeError(
-                    f"simulation exceeded {max_cycles:,.0f} cycles")
-            if kind == _CALL:
-                a(when)
-                continue
+                raise self._cycle_limit_exceeded()
             core = cores[a]
             if core.done or core.blocked is not None or b != core.epoch:
                 continue  # stale entry
@@ -318,25 +417,40 @@ class Machine:
                 # pops), and the next pop re-synchronizes it.
                 if when > limit:
                     self.now = when
-                    raise RuntimeError(
-                        f"simulation exceeded {max_cycles:,.0f} cycles")
+                    raise self._cycle_limit_exceeded()
                 now = when
-        # The application finished, but background work (delayed-writeback
-        # drains) may still be scheduled: let it complete so checkpoints
-        # close and the log/markers are consistent.  The cycle limit is
-        # enforced here too — a runaway background-callback chain must
-        # not spin past ``max_cycles`` silently just because the
-        # application part of the run is over.
+        self._phase = "drain"
+        return True
+
+    def _advance_drain(self) -> bool:
+        """Post-run drain; returns False when paused mid-phase.
+
+        The application finished, but background work (delayed-writeback
+        drains) may still be scheduled: let it complete so checkpoints
+        close and the log/markers are consistent.  The cycle limit is
+        enforced here too — a runaway background-callback chain must
+        not spin past ``max_cycles`` silently just because the
+        application part of the run is over.  Fault events popping here
+        (detection after the application end) are recorded as
+        undelivered by ``_deliver_fault``.
+        """
+        limit = self._limit
+        heap = self._heap
         while heap:
-            when, _, kind, a, _ = heappop(heap)
-            if kind == _CALL:
+            when, _, kind, a, _ = heapq.heappop(heap)
+            if kind == _PAUSE:
+                return False
+            if kind == _CALL or kind == _DCALL:
                 if when > self.now:
                     self.now = when
                 if when > limit:
-                    raise RuntimeError(
-                        f"simulation exceeded {max_cycles:,.0f} cycles")
-                a(when)
-        return self.finalize()
+                    raise self._cycle_limit_exceeded()
+                if kind == _DCALL:
+                    a.fire(self, when)
+                else:
+                    a(when)
+        self._phase = "done"
+        return True
 
     def _diagnose_deadlock(self) -> None:
         states = []
@@ -356,6 +470,74 @@ class Machine:
         core.block_site = None
         core.time = max(core.time, when)
         self.push_core(core)
+
+    # ------------------------------------------------------------------
+    # replica forking (vectorized campaign batches)
+    # ------------------------------------------------------------------
+    def fork(self) -> "Machine":
+        """A paused machine cloned mid-run, bit-identical from here on.
+
+        The clone shares the immutable bulk (config, workload, trace
+        columns) with the parent and deep-copies all mutable simulation
+        state (caches, directory, log, heap, cores, scheme, RNG), so
+        advancing the clone is indistinguishable from advancing a
+        machine that was *constructed* with the clone's state.  Pause
+        sentinels are stripped — they belong to the parent's schedule.
+
+        Refuses (``UnforkableMachineError``) if a legacy closure
+        callback is pending: ``copy.deepcopy`` treats functions as
+        atomic, so a cloned closure would fire into the parent.  The
+        built-in schemes only schedule :class:`DurableCall`s.
+        """
+        if any(entry[2] == _CALL for entry in self._heap):
+            raise UnforkableMachineError(
+                "pending closure callback (Machine.schedule); only "
+                "DurableCall-scheduled machines can fork")
+        memo = {id(self.config): self.config,
+                id(self.workload): self.workload}
+        for core in self.cores:
+            # The trace columns (and their tolist'd hot-loop mirrors)
+            # are never mutated: every replica reads the same objects.
+            memo[id(core.trace)] = core.trace
+            if core.ops is not None:
+                memo[id(core.ops)] = core.ops
+                memo[id(core.args)] = core.args
+        clone = copy.deepcopy(self, memo)
+        if any(entry[2] == _PAUSE for entry in clone._heap):
+            clone._heap = [entry for entry in clone._heap
+                           if entry[2] != _PAUSE]
+            heapq.heapify(clone._heap)
+        return clone
+
+    def install_faults(self, faults: list[tuple[float, int]] | FaultPlan,
+                       ) -> None:
+        """Arm a forked replica with its fault campaign.
+
+        The injected heap events carry sequence numbers below every
+        live entry's, so at equal timestamps a fault still fires before
+        any trace record or drain callback — the exact order the scalar
+        run establishes by scheduling faults first (seqs ``1..F``).
+        Pending faults must all lie at or after the fork point; the
+        parent leader is paused at the batch's earliest detection time,
+        so this holds by construction for every replica.
+        """
+        if self.faults.events:
+            raise RuntimeError("machine already has faults installed")
+        if isinstance(faults, FaultPlan):
+            faults = list(faults.faults)
+        self.faults = FaultInjector(faults or [],
+                                    self.config.detection_latency)
+        for index, event in enumerate(self.faults.events):
+            heapq.heappush(
+                self._heap,
+                (event.detect_time, _FAULT_SEQ_BASE + index, _DCALL,
+                 DurableCall("machine", "_deliver_fault_at", (index,)),
+                 None))
+        # A replica forked past its drain (or even past the final pop)
+        # still owes its faults an undelivered verdict: re-open the
+        # drain so advance() pops them.
+        if self._phase == "done" and self._heap:
+            self._phase = "drain"
 
     # ------------------------------------------------------------------
     # run assembly
@@ -398,3 +580,8 @@ class Machine:
 
     def unfinished_cores(self) -> list[int]:
         return [c.pid for c in self.cores if not c.done]
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`advance` has drained every event."""
+        return self._phase == "done"

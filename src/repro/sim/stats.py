@@ -370,6 +370,22 @@ class SimStats:
 # fault-campaign aggregation
 # ---------------------------------------------------------------------------
 
+def _percentile_sorted(ordered: list[float], q: float) -> float:
+    """:func:`percentile` on an already *sorted* list (no copy, no
+    re-sort) — the indexing half shared by the one-shot function and the
+    sort-once cache in :class:`CampaignSummary`."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    if not ordered:
+        return math.nan
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
 def percentile(values: list[float], q: float) -> float:
     """Linear-interpolated percentile of ``values`` (q in [0, 100]).
 
@@ -378,17 +394,7 @@ def percentile(values: list[float], q: float) -> float:
     (callers display it explicitly, e.g. as ``-``).  A ``q`` outside
     [0, 100] is a caller bug and raises.
     """
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
-    if not values:
-        return math.nan
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    pos = (len(ordered) - 1) * q / 100.0
-    lo = int(pos)
-    hi = min(lo + 1, len(ordered) - 1)
-    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+    return _percentile_sorted(sorted(values), q)
 
 
 @dataclass
@@ -429,8 +435,20 @@ class CampaignSummary:
         return sum(self.recovery_latencies) / len(self.recovery_latencies)
 
     def recovery_latency_percentile(self, q: float) -> float:
-        """``math.nan`` when no recovery happened in the campaign."""
-        return percentile(self.recovery_latencies, q)
+        """``math.nan`` when no recovery happened in the campaign.
+
+        The campaign tables query several percentiles (p50/p95/p99 ...)
+        of the same distribution; the latencies are sorted *once* and
+        each query only indexes — the cache invalidates itself if more
+        runs are folded in after the first query (the list only ever
+        grows, so its length is the version).
+        """
+        cached = self.__dict__.get("_recovery_sorted")
+        if cached is None or cached[0] != len(self.recovery_latencies):
+            cached = (len(self.recovery_latencies),
+                      sorted(self.recovery_latencies))
+            self.__dict__["_recovery_sorted"] = cached
+        return _percentile_sorted(cached[1], q)
 
     @property
     def mean_work_lost(self) -> float:

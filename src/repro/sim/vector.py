@@ -1,0 +1,246 @@
+"""Vectorized multi-replica campaign executor.
+
+A fault campaign fans one compiled workload out into N seeded replicas
+that differ *only* in their fault plans — and a replica is bit-identical
+to every other until its first fault is detected.  The executor
+exploits exactly that: one fault-free **leader** machine walks the
+shared ``CompiledTrace`` ops/args columns once per batch, pausing at
+each replica's first fault-detection time (sorted ascending with
+numpy); at each pause the replica is **spilled** into a scalar
+:class:`~repro.sim.machine.Machine` via :meth:`Machine.fork`, armed
+with its fault plan, and driven to completion by the ordinary scalar
+kernel.  Per-replica batch state (divergence clocks, fault counts,
+shared-prefix savings) lives in ``(N,)``-shaped numpy arrays; anything
+divergence-heavy — rollbacks, cluster barriers, I/O injection after the
+spill — runs in the spilled scalar machine, so every replica's
+``SimStats`` (including the exact cycle-bucket partition) is unchanged
+by construction.
+
+Soundness rests on three properties of the scalar kernel:
+
+* **Pause sentinels are unobservable.**  ``Machine.advance(pause_at=t)``
+  plants a heap sentinel at ``t`` whose presence gives the fused
+  executor the same fusion horizon a pending fault at ``t`` would (the
+  fusion condition only reads ``heap[0][0]``); record fusing is
+  parity-guaranteed for *any* break pattern (``fuse_quantum=1`` is the
+  repo's golden reference), and the sentinel never advances the clock.
+* **Forks are faithful.**  All built-in scheduled callbacks are
+  :class:`~repro.sim.events.DurableCall` descriptors that re-bind to
+  the firing machine, so a fork's pending drains complete inside the
+  fork.  A pending legacy closure makes the machine unforkable and the
+  batch falls back to scalar runs (``UnforkableMachineError``).
+* **Fault ordering is reproduced.**  A scalar run schedules faults
+  first (lowest seqs), so at equal timestamps a fault beats any trace
+  record; ``Machine.install_faults`` injects the fork's fault events
+  with seqs below every live entry, preserving that order.
+
+The speedup is the shared prefix: for first-detections at
+``t_1 <= ... <= t_N`` over a run of length ``T``, the batch simulates
+``T + sum(T - t_i)`` cycles instead of ``N * T``.  Dense fault
+campaigns (MTTF ~ one interval) divergence early and gain modestly;
+sparse campaigns (and fault-free replicas, which are served directly
+from the leader's finalized stats) approach ``N``-fold savings.  No
+cycle of post-divergence work is ever approximated away — this is an
+exact-prefix-sharing optimization, not a sampling one.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.params import MachineConfig
+from repro.sim.machine import Machine, UnforkableMachineError
+from repro.sim.stats import SimStats
+from repro.workloads.base import WorkloadSpec
+
+try:  # numpy is an optional extra (``repro[vector]``)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+__all__ = ["have_numpy", "run_replica_batch", "BatchResult", "BatchReport",
+           "UnforkableMachineError"]
+
+#: A replica's faults: the plain ``(time, pid)`` list a RunKey carries.
+FaultList = Sequence[tuple[float, int]]
+
+
+def have_numpy() -> bool:
+    """True when the vectorized executor can run at all."""
+    return _np is not None
+
+
+#: Forking the leader costs a deep copy of the whole machine state
+#: (~10-15% of a full run's wall clock), so a replica only rides the
+#: leader when its shared prefix is worth more than the fork: replicas
+#: whose first divergence lands before this fraction of the estimated
+#: run length are run standalone through the ordinary scalar kernel
+#: instead — bit-identical either way, the threshold only moves cost.
+SPILL_THRESHOLD_FRACTION = 0.2
+
+
+@dataclass
+class BatchReport:
+    """Per-batch accounting (progress/bench reporting, not results)."""
+
+    width: int = 0                     #: replicas in the batch
+    spilled: int = 0                   #: replicas run by the scalar kernel
+    leader_served: int = 0             #: fault-free replicas served
+    forced_spills: int = 0             #: test-injected early spills
+    #: Spilled replicas that diverged too early to be worth a fork and
+    #: ran standalone (subset of ``spilled``).
+    direct_runs: int = 0
+    #: Per-replica divergence times (inf = never diverged), batch order.
+    divergence: list[float] = field(default_factory=list)
+    #: Simulated cycles the batch shared in the leader instead of
+    #: re-executing per replica: sum of divergence prefixes minus the
+    #: one leader walk that actually happened.
+    shared_prefix_cycles: float = 0.0
+    #: Trace records of the shared workload, walked once per batch
+    #: (vs. once per replica scalar): op -> count over all threads.
+    record_histogram: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class BatchResult:
+    """Stats per replica (input order) plus the batch accounting."""
+
+    stats: list[SimStats]
+    report: BatchReport
+
+
+def _first_detect(faults: FaultList, detection_latency: float) -> float:
+    """Detection time of a replica's earliest fault (inf if none)."""
+    if not faults:
+        return float("inf")
+    return min(time for time, _pid in faults) + detection_latency
+
+
+def _record_histogram(workload: WorkloadSpec) -> dict[int, int]:
+    """Op histogram over every thread's columns — one numpy pass per
+    batch over the shared trace IR (``np.frombuffer`` views)."""
+    total = _np.zeros(8, dtype=_np.int64)
+    for trace in workload.traces:
+        ops, _args = trace.numpy_columns()
+        total += _np.bincount(ops, minlength=8)[:8]
+    return {op: int(count) for op, count in enumerate(total) if count}
+
+
+def run_replica_batch(config: MachineConfig, workload: WorkloadSpec,
+                      fault_lists: Sequence[FaultList],
+                      forced_spills: Optional[Sequence[Optional[float]]]
+                      = None,
+                      max_cycles: Optional[float] = None) -> BatchResult:
+    """Run N replicas of one workload, sharing their common prefix.
+
+    ``fault_lists[i]`` is replica *i*'s fault campaign (empty = fault
+    free).  ``forced_spills[i]`` (tests only) forces replica *i* out of
+    the leader at that time even though no fault is due yet — the fork
+    machinery is exercised at arbitrary divergence points while the
+    results stay bit-identical.  Returns per-replica ``SimStats`` in
+    input order, each equal to ``Machine(config, workload,
+    faults=fault_lists[i]).run(max_cycles)``.
+
+    Raises :class:`UnforkableMachineError` if the machine cannot be
+    forked (pending closure callbacks) and ``ImportError`` without
+    numpy; callers fall back to scalar runs in both cases.
+    """
+    if _np is None:
+        raise ImportError("numpy is required for the vectorized "
+                          "campaign executor (pip install repro[vector])")
+    n = len(fault_lists)
+    if n == 0:
+        return BatchResult([], BatchReport())
+    if forced_spills is not None and len(forced_spills) != n:
+        raise ValueError(f"forced_spills has {len(forced_spills)} "
+                         f"entries for {n} replicas")
+
+    # -- batch schedule: (N,)-shaped replica state ----------------------
+    latency = config.detection_latency
+    first_detect = _np.array([_first_detect(faults, latency)
+                              for faults in fault_lists])
+    forced = _np.full(n, _np.inf)
+    if forced_spills is not None:
+        for i, at in enumerate(forced_spills):
+            if at is not None:
+                forced[i] = at
+    # A forced spill past the replica's first fault would fork a
+    # machine whose fault already fired in the leader — clamp to the
+    # fault: spilling *at* the detection time is the normal path.
+    divergence = _np.minimum(first_detect, forced)
+
+    # Cost model: a fork only pays when the shared prefix beats the
+    # deep-copy.  Instruction counts lower-bound the run length (1-IPC
+    # cores only ever stall longer), so the threshold is conservative.
+    # Forced spills always fork — they exist to exercise the fork
+    # machinery at arbitrary points.
+    run_estimate = max((trace.instruction_count()
+                        for trace in workload.traces), default=1)
+    threshold = SPILL_THRESHOLD_FRACTION * run_estimate
+    finite = _np.isfinite(divergence)
+    direct = finite & (divergence < threshold) & _np.isinf(forced)
+
+    report = BatchReport(width=n,
+                         divergence=[float(t) for t in divergence],
+                         record_histogram=_record_histogram(workload))
+    results: list[Optional[SimStats]] = [None] * n
+
+    for index in _np.nonzero(direct)[0]:
+        results[index] = Machine(config, workload,
+                                 faults=list(fault_lists[index])
+                                 ).run(max_cycles)
+        report.spilled += 1
+        report.direct_runs += 1
+
+    fork_order = [int(i) for i in _np.argsort(divergence, kind="stable")
+                  if finite[i] and not direct[i]]
+    served = [i for i in range(n)
+              if divergence[i] == float("inf")]
+    leader = None
+    if fork_order or served:
+        leader = Machine(config, workload)
+        leader.start(max_cycles)
+    for position, index in enumerate(fork_order):
+        at = float(divergence[index])
+        if not leader.finished:
+            leader.advance(pause_at=at)
+        # The last forked replica of a batch with nobody left to serve
+        # takes over the leader in place: forking would deep-copy a
+        # machine only to abandon the original.
+        last = position == len(fork_order) - 1 and not served
+        replica = leader if last else leader.fork()
+        replica.install_faults(list(fault_lists[index]))
+        replica.advance()
+        results[index] = replica.finalize()
+        report.spilled += 1
+        if forced[index] < first_detect[index]:
+            report.forced_spills += 1
+
+    if served:
+        # Fault-free replicas: the leader *is* their run.  Serve the
+        # first directly and deep-copy for the rest so no two RunKeys
+        # alias one mutable SimStats.
+        if not leader.finished:
+            leader.advance()
+        base = leader.finalize()
+        results[served[0]] = base
+        for i in served[1:]:
+            results[i] = copy.deepcopy(base)
+        report.leader_served = len(served)
+
+    # Shared-prefix accounting: each *forked* replica saved its
+    # divergence prefix t_i, each leader-served replica its whole run;
+    # direct runs shared nothing and the one leader walk that actually
+    # happened is subtracted.
+    forked_prefix = float(sum(divergence[i] for i in fork_order))
+    if served:
+        walked = results[served[0]].runtime
+        shared = forked_prefix + len(served) * walked - walked
+    else:
+        walked = float(max((divergence[i] for i in fork_order),
+                           default=0.0))
+        shared = forked_prefix - walked
+    report.shared_prefix_cycles = max(0.0, shared)
+    return BatchResult(list(results), report)

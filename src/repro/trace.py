@@ -147,6 +147,21 @@ class CompiledTrace:
         """The equivalent tuple-trace list (debugging / compatibility)."""
         return list(self)
 
+    def numpy_columns(self):
+        """Zero-copy numpy views over the IR columns.
+
+        Returns ``(ops, args)`` as read-only ``int8``/``int64`` arrays
+        aliasing the underlying column buffers (``np.frombuffer``, no
+        copy) — the replica-batch executor scans one workload's columns
+        once per batch through these.  Raises ``ImportError`` when
+        numpy is unavailable; callers gate on
+        :func:`repro.sim.vector.have_numpy` first.
+        """
+        import numpy as np
+        ops = np.frombuffer(self.ops, dtype=np.int8)
+        args = np.frombuffer(self.args, dtype=np.int64)
+        return ops, args
+
     def instruction_count(self) -> int:
         """Instructions this trace retires (precomputed, O(1))."""
         return self.n_instructions

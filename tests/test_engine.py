@@ -128,10 +128,12 @@ class TestProfileRows:
                        cluster=2, overrides={"detection_latency": 2000}))
         eng.run(MATRIX[0])
         rows = eng.profile_rows()
-        assert all(len(row) == 8 for row in rows)
+        assert all(len(row) == 9 for row in rows)
         by_cluster = {row[5]: row for row in rows}
         assert by_cluster[2][6] == "detection_latency=2000"
         assert by_cluster[1][6] == "-"
+        # neither run was part of a replica batch: width 1
+        assert all(row[7] == 1 for row in rows)
 
 
 class TestRunnerFacade:
