@@ -13,6 +13,11 @@ replica-batch width of the vectorized campaign executor against
 scalar per-replica runs at two fault densities, with per-replica
 parity asserted (skipped without numpy).
 
+The ``lint`` section times the ``reprolint`` static analysis pass over
+the full shipped tree (parse + all four contract rules), so the
+analyzer's cost — it runs on every CI push — stays visible from PR to
+PR, and asserts the tree is clean while it is at it.
+
 This deliberately bypasses the runner/engine caches: it measures the
 simulator kernel and the workload build path themselves, not the
 harness.
@@ -170,6 +175,28 @@ def _measure_vector() -> dict:
     }
 
 
+def _measure_lint() -> dict:
+    """Wall time of one full ``reprolint`` pass over the shipped tree
+    (min-of-N; the parse and the import graph dominate)."""
+    from repro.analysis import run_lint
+
+    report = None
+    wall = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        report = run_lint()
+        wall = min(wall, time.perf_counter() - start)
+    assert report.ok, report.render()
+    return {
+        "rules": list(report.rules),
+        "checked_files": report.checked_files,
+        "findings": len(report.findings),
+        "suppressed": report.suppressed,
+        "wall_s": round(wall, 4),
+        "files_per_s": round(report.checked_files / wall),
+    }
+
+
 def test_kernel_speed():
     results = []
     total_wall = 0.0
@@ -198,8 +225,9 @@ def test_kernel_speed():
     store = _measure_workload_store()
     vector = _measure_vector() if have_numpy() else {
         "skipped": "numpy not installed"}
+    lint = _measure_lint()
     payload = {
-        "schema": 3,
+        "schema": 4,
         "scale": SCALE,
         "intervals": INTERVALS,
         "repeats": REPEATS,
@@ -210,6 +238,7 @@ def test_kernel_speed():
         "aggregate_instr_per_s": round(total_instr / total_wall),
         "workload_store": store,
         "vector": vector,
+        "lint": lint,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print()
@@ -238,3 +267,7 @@ def test_kernel_speed():
                   f"{row['leader_served']})")
     else:
         print(f"vector campaigns: {vector['skipped']}")
+    print(f"reprolint ({','.join(lint['rules'])}): "
+          f"{lint['checked_files']} files in {lint['wall_s']:.3f}s "
+          f"({lint['files_per_s']:,} files/s, "
+          f"{lint['findings']} findings)")

@@ -1,0 +1,116 @@
+"""RL004 — cache-identity hygiene: key material must hash/repr stably.
+
+A ``RunKey``'s ``repr`` *is* the disk-cache file name (hashed together
+with the code fingerprint) and its ``hash`` is the in-memory memo key;
+``Overrides`` and the workload-store idents feed the same machinery.
+Every type that rides in them must therefore be value-like: equal
+values must hash alike and repr alike, across processes and sessions.
+The default ``object.__repr__``/``__hash__`` (address-derived) violate
+both.
+
+The rule collects the *identity type set* — every class name referenced
+in ``RunKey``'s field annotations, plus the duck-typed registry tags
+(``SchemeTag``, ``WorkloadTag``) that ride in fields typed as plain
+``str``/``Scheme``, plus ``RunKey`` and ``Overrides`` themselves — and
+requires each class defined in the tree under one of those names to be
+
+* an ``Enum`` (members are singletons with stable name/repr), or
+* a frozen dataclass (generated ``__hash__``/``__repr__`` are
+  value-based), or
+* an explicit implementor of both ``__hash__`` and ``__repr__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, ProjectContext, Rule
+
+_ENUM_BASES = frozenset({"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"})
+
+#: Identity carriers not visible in RunKey's annotations: the registry
+#: tags ride in fields annotated ``str``/``Scheme`` (duck-typed via
+#: ``.value``), and Overrides/RunKey are identity material themselves.
+_ALWAYS_IDENTITY = ("RunKey", "Overrides", "SchemeTag", "WorkloadTag",
+                    "FaultPlan")
+
+
+def _annotation_names(node: ast.expr) -> Iterator[str]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotations ("FaultPlan") still name types.
+            try:
+                yield from _annotation_names(
+                    ast.parse(sub.value, mode="eval").body)
+            except SyntaxError:
+                pass
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = func.attr if isinstance(func, ast.Attribute) \
+            else (func.id if isinstance(func, ast.Name) else "")
+        if name != "dataclass":
+            continue
+        for kw in decorator.keywords:
+            if kw.arg == "frozen" and isinstance(kw.value, ast.Constant) \
+                    and kw.value.value is True:
+                return True
+    return False
+
+
+def _is_enum(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) \
+            else (base.id if isinstance(base, ast.Name) else "")
+        if name in _ENUM_BASES:
+            return True
+    return False
+
+
+def _defines(node: ast.ClassDef, *methods: str) -> bool:
+    names = {item.name for item in node.body
+             if isinstance(item, ast.FunctionDef)}
+    return all(method in names for method in methods)
+
+
+class CacheIdentityRule(Rule):
+    code = "RL004"
+    name = "cache-identity"
+    description = ("every type riding in RunKey / Overrides / store "
+                   "idents must be a frozen dataclass, an Enum, or "
+                   "define __hash__ + a stable __repr__")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        identity_names = set(_ALWAYS_IDENTITY)
+        classes: list[tuple[ast.ClassDef, str]] = []
+        for ctx in project.modules:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes.append((node, ctx.relpath))
+                    if node.name == "RunKey":
+                        for item in node.body:
+                            if isinstance(item, ast.AnnAssign):
+                                identity_names.update(
+                                    _annotation_names(item.annotation))
+        findings = []
+        for node, relpath in classes:
+            if node.name not in identity_names:
+                continue
+            if _is_enum(node) or _is_frozen_dataclass(node) \
+                    or _defines(node, "__hash__", "__repr__"):
+                continue
+            findings.append(Finding(
+                relpath, node.lineno, "RL004",
+                f"class {node.name} rides in cache identities but is "
+                f"neither a frozen dataclass nor an Enum and does not "
+                f"define both __hash__ and __repr__; its default "
+                f"address-derived identity would poison the "
+                f"content-addressed caches"))
+        return iter(findings)

@@ -1,0 +1,159 @@
+"""RL002 — determinism: simulation code must be seed-deterministic.
+
+The result cache and the workload store are content-addressed: a
+``RunKey`` (plus the code fingerprint) *is* the result.  Any entropy
+source inside ``repro.sim``, ``repro.core`` or ``repro.workloads``
+breaks that identity silently — the cache keeps serving whichever
+variant ran first.  Banned:
+
+* wall clocks: ``time.time``/``monotonic``/``perf_counter`` (+ ``_ns``
+  variants), ``datetime.now``/``utcnow``/``today``;
+* OS/crypto entropy: ``os.urandom``, ``uuid.uuid1``/``uuid4``, any
+  ``secrets.*``;
+* the module-level ``random.*`` API (shared global RNG state — runs
+  perturb each other); seeded ``random.Random(seed)`` instances are the
+  sanctioned source and are not flagged;
+* ``id()`` feeding an ordering (``sorted``/``min``/``max``/``.sort``):
+  CPython ids are address-derived and vary across processes;
+* iteration over unordered collections — ``set`` literals/calls/
+  comprehensions, ``frozenset(...)``, ``.keys()`` views — in ``for``
+  loops, comprehensions or ``list``/``tuple`` materialization; wrap in
+  ``sorted(...)`` before the order can feed stats, cache identities or
+  trace emission.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.framework import Finding, ModuleContext, Rule
+
+#: module name -> banned attributes (None = every attribute).
+_BANNED_ATTRS: dict[str, Optional[frozenset[str]]] = {
+    "time": frozenset({"time", "time_ns", "monotonic", "monotonic_ns",
+                       "perf_counter", "perf_counter_ns",
+                       "process_time", "process_time_ns"}),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "date": frozenset({"today"}),
+    "os": frozenset({"urandom", "getrandom"}),
+    "uuid": frozenset({"uuid1", "uuid4"}),
+    "secrets": None,
+}
+
+#: ``random.<fn>`` hits the process-global RNG for every fn but these.
+_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+
+_ORDERING_CALLS = frozenset({"sorted", "min", "max", "sort"})
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"] (empty when not a plain chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _is_unordered(node: ast.expr) -> Optional[str]:
+    """A human name for ``node`` when it produces an unordered iterable."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return f"{node.func.id}(...)"
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "keys" and not node.args:
+            return ".keys()"
+    return None
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(self.ctx.relpath, node.lineno,
+                                     "RL002", message))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if len(chain) >= 2:
+            # Accept both ``time.time()`` and ``datetime.datetime.now()``
+            # spellings: match on the last module-ish segment.
+            module, attr = chain[-2], chain[-1]
+            banned = _BANNED_ATTRS.get(module)
+            if module in _BANNED_ATTRS \
+                    and (banned is None or attr in banned):
+                self._flag(node, f"{module}.{attr}() is runtime entropy; "
+                                 f"simulation results must be "
+                                 f"bit-deterministic (cache identity)")
+            elif module == "random" and attr not in _RANDOM_OK:
+                self._flag(node, f"module-level random.{attr}() uses the "
+                                 f"shared global RNG; draw from a seeded "
+                                 f"random.Random instance instead")
+        name = node.func.attr if isinstance(node.func, ast.Attribute) \
+            else (node.func.id if isinstance(node.func, ast.Name) else "")
+        if name in _ORDERING_CALLS:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) \
+                        and isinstance(sub.func, ast.Name) \
+                        and sub.func.id == "id":
+                    self._flag(sub, "id() feeds an ordering; CPython "
+                                    "ids are address-derived and vary "
+                                    "across processes/runs")
+        if name in ("list", "tuple") and isinstance(node.func, ast.Name) \
+                and len(node.args) == 1:
+            self._check_iterable(node.args[0])
+        self.generic_visit(node)
+
+    def _check_iterable(self, node: ast.expr) -> None:
+        what = _is_unordered(node)
+        if what is not None:
+            self._flag(node, f"iteration over {what} has no stable "
+                             f"order; wrap in sorted(...) before it "
+                             f"feeds stats, cache identities or trace "
+                             f"emission")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for generator in node.generators:
+            self._check_iterable(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set from a set is still unordered-in, unordered-out
+        # — only the *consumption* order matters, so the generators are
+        # checked like any other comprehension.
+        self._visit_comp(node)
+
+
+class DeterminismRule(Rule):
+    code = "RL002"
+    name = "determinism"
+    description = ("no wall clocks, OS entropy, global random state, "
+                   "id()-derived ordering or unordered-set iteration in "
+                   "repro.sim / repro.core / repro.workloads")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_packages("sim", "core", "workloads"):
+            return iter(())
+        visitor = _DeterminismVisitor(ctx)
+        visitor.visit(ctx.tree)
+        return iter(visitor.findings)

@@ -1,0 +1,108 @@
+"""RL003 — fingerprint coverage: the cache must see every input.
+
+A disk-cache entry's identity is ``code_fingerprint() | RunKey``; the
+fingerprint hashes a fixed file set (``fingerprint_paths()`` in
+:mod:`repro.harness.engine`).  Any module that can influence a
+``SimStats`` but is *not* in that set makes the cache lie: edit it and
+stale results keep being served.  Statically, "can influence" is the
+transitive import closure of the execution entry points
+(``execute_run`` for scalar runs, ``run_replica_batch`` for vectorized
+campaign batches).  This rule fails when:
+
+* an entry point cannot be found anywhere in the tree (the contract
+  became unverifiable — someone renamed the executor);
+* a module reachable from an entry point lies outside the fingerprint
+  file set;
+* a reachable module imports an in-package module that resolves to no
+  file (deleted or moved — its former behaviour is still cached);
+* ``register_workload`` is called outside ``repro/workloads/`` without
+  ``fingerprint=`` — an out-of-tree generator's source is invisible to
+  the code fingerprint, so the registration fingerprint is its *only*
+  invalidation signal (without it the store/cache must be bypassed,
+  which the registry does, but silently rebuilding per run is almost
+  never what a registered production workload wants).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+)
+from repro.analysis.imports import build_import_graph, defining_modules
+
+
+class FingerprintCoverageRule(Rule):
+    code = "RL003"
+    name = "fingerprint-coverage"
+    description = ("every module reachable from execute_run / "
+                   "run_replica_batch must be inside the "
+                   "code_fingerprint() file set; register_workload "
+                   "outside repro/workloads needs fingerprint=")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.in_packages("workloads"):
+            return iter(())
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) \
+                else (func.id if isinstance(func, ast.Name) else "")
+            if name != "register_workload":
+                continue
+            if not any(kw.arg == "fingerprint" for kw in node.keywords):
+                findings.append(Finding(
+                    ctx.relpath, node.lineno, "RL003",
+                    "register_workload without fingerprint=: the "
+                    "generator's source is outside the code "
+                    "fingerprint, so a content fingerprint is its only "
+                    "cache-invalidation signal"))
+        return iter(findings)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        if not project.modules:
+            return iter(())
+        findings = []
+        anchor = project.modules[0].relpath
+        entry_modules = defining_modules(project,
+                                         project.project.entrypoints)
+        roots = set()
+        for entrypoint, module in sorted(entry_modules.items()):
+            if module is None:
+                findings.append(Finding(
+                    anchor, 1, "RL003",
+                    f"entry point {entrypoint}() is defined nowhere in "
+                    f"the tree; fingerprint coverage cannot be "
+                    f"verified"))
+            else:
+                roots.add(module)
+        graph = build_import_graph(project)
+        reachable = graph.reachable(roots)
+        allowed = project.project.fingerprint_paths
+        for ctx in project.modules:
+            if ctx.module not in reachable:
+                continue
+            if allowed is not None and ctx.path.resolve() not in allowed:
+                findings.append(Finding(
+                    ctx.relpath, 1, "RL003",
+                    f"module {ctx.module} is reachable from "
+                    f"{'/'.join(sorted(roots))} but outside the "
+                    f"code_fingerprint() file set — edits to it would "
+                    f"keep serving stale cache entries"))
+        for module, lineno, target in graph.unresolved:
+            ctx = project.module_by_name(module)
+            if ctx is None or module not in reachable:
+                continue
+            findings.append(Finding(
+                ctx.relpath, lineno, "RL003",
+                f"import of {target} resolves to no module file "
+                f"(deleted or moved?); its former behaviour may still "
+                f"be served from the result cache"))
+        return iter(findings)

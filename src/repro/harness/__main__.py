@@ -41,6 +41,13 @@ every grid point becomes a cached, pool-parallel engine run::
 registry, so generators registered via
 ``repro.workloads.register_workload`` are addressable by name alongside
 the 18 built-in application profiles.
+
+The ``lint`` subcommand runs ``reprolint``, the contract-enforcing
+static analysis pass (determinism / fork-safety / fingerprint coverage
+/ cache-identity hygiene — see :mod:`repro.analysis`) over the shipped
+tree and exits non-zero on any unsuppressed finding::
+
+    python -m repro.harness lint [--json] [--rules RL001,RL003]
 """
 
 from __future__ import annotations
@@ -260,6 +267,60 @@ def sweep_main(argv: list[str]) -> int:
     return 0
 
 
+def lint_main(argv: list[str]) -> int:
+    """``python -m repro.harness lint``: the reprolint analysis pass."""
+    # Imported here, not at module top: the analysis layer is pure
+    # tooling and must never ride into the engine's pool workers.
+    from repro.analysis import (
+        LintError,
+        Project,
+        registered_rules,
+        run_lint,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness lint",
+        description="Contract-enforcing static analysis: determinism "
+                    "(RL002), fork-safety (RL001), fingerprint "
+                    "coverage (RL003) and cache-identity hygiene "
+                    "(RL004) over the repro tree.  Exits 1 on any "
+                    "unsuppressed finding.")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    parser.add_argument("--rules", nargs="+", default=None,
+                        metavar="CODE",
+                        help="rule codes to run (space- or comma-"
+                             "separated; default: all registered)")
+    parser.add_argument("--root", default=None,
+                        help="package directory to lint (default: the "
+                             "installed repro package, with the "
+                             "fingerprint file set taken from the "
+                             "engine)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in registered_rules():
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+    codes = None
+    if args.rules is not None:
+        codes = [code for token in args.rules
+                 for code in token.split(",") if code]
+    project = None
+    if args.root is not None:
+        from pathlib import Path
+        root = Path(args.root)
+        project = Project(root=root, package=root.name)
+    try:
+        report = run_lint(project=project, rules=codes)
+    except LintError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_json() if args.json else report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:  # pragma: no cover - exercised via the console
         argv = sys.argv[1:]
@@ -267,6 +328,8 @@ def main(argv: list[str] | None = None) -> int:
         return campaign_main(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro.harness")
     parser.add_argument("experiments", nargs="*",
                         default=list(ALL_EXPERIMENTS),

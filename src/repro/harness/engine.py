@@ -261,6 +261,17 @@ def _timed_batch(keys: list[RunKey], store_root: Optional[str] = None,
 _FINGERPRINT: Optional[str] = None
 
 
+def fingerprint_paths() -> list[Path]:
+    """The exact file set :func:`code_fingerprint` hashes, sorted.
+
+    Exposed separately so the static analyzer (``reprolint`` RL003) can
+    audit the cache contract against the *actual* hashed set: every
+    module reachable from ``execute_run``/``run_replica_batch`` must
+    appear here, or editing it would keep serving stale cache entries.
+    """
+    return sorted(_PACKAGE_DIR.rglob("*.py"))
+
+
 def code_fingerprint() -> str:
     """SHA-256 over the ``repro`` package sources (cache invalidation).
 
@@ -275,18 +286,36 @@ def code_fingerprint() -> str:
             f"format:{CACHE_FORMAT}"
             f"|python:{sys.version_info[0]}.{sys.version_info[1]}"
             f"|pickle:{pickle.HIGHEST_PROTOCOL}".encode())
-        for path in sorted(_PACKAGE_DIR.rglob("*.py")):
+        for path in fingerprint_paths():
             digest.update(str(path.relative_to(_PACKAGE_DIR)).encode())
             digest.update(path.read_bytes())
         _FINGERPRINT = digest.hexdigest()
     return _FINGERPRINT
 
 
+def _env_flag(name: str, text: str) -> bool:
+    """Parse an on/off environment variable, rejecting garbage with a
+    one-line error that names the variable (a typo like
+    ``REPRO_VECTOR=fasle`` must not silently pick either behaviour)."""
+    lower = text.strip().lower()
+    if lower in ("1", "on", "true", "yes"):
+        return True
+    if lower in ("0", "off", "false", "no"):
+        return False
+    raise ValueError(f"{name} must be one of 1/0/on/off/true/false/"
+                     f"yes/no, got {text!r}")
+
+
 def default_jobs() -> int:
     """Worker count: ``REPRO_JOBS`` or the machine's CPU count."""
     env = os.environ.get("REPRO_JOBS")
     if env:
-        return max(1, int(env))
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer worker "
+                             f"count, got {env!r}") from None
+        return max(1, jobs)
     return os.cpu_count() or 1
 
 
@@ -323,7 +352,9 @@ class ExperimentEngine:
         self.cache_dir = Path(cache_dir) if cache_dir is not None \
             else default_cache_dir()
         if use_disk_cache is None:
-            use_disk_cache = os.environ.get("REPRO_NO_CACHE", "0") != "1"
+            env = os.environ.get("REPRO_NO_CACHE")
+            use_disk_cache = not (env is not None and env != ""
+                                  and _env_flag("REPRO_NO_CACHE", env))
         self.use_disk_cache = use_disk_cache
         # The workload store lives under the result cache dir and obeys
         # the same opt-out: ``--no-cache`` means no disk I/O at all.
@@ -334,7 +365,7 @@ class ExperimentEngine:
         if vector is None:
             env = os.environ.get("REPRO_VECTOR")
             if env is not None and env != "":
-                vector = env not in ("0", "off", "false", "no")
+                vector = _env_flag("REPRO_VECTOR", env)
         #: The *request* (None = auto): distinguishes "user said no"
         #: from "numpy is missing" for the fallback warning below.
         self._vector_requested = vector

@@ -98,6 +98,14 @@ def register_workload(name: str, builder: WorkloadBuilder, *,
     if not name or not isinstance(name, str):
         raise ValueError(f"workload name must be a non-empty string, "
                          f"got {name!r}")
+    if fingerprint is not None and (not isinstance(fingerprint, str)
+                                    or not fingerprint.strip()):
+        # An empty fingerprint would be taken at face value by the
+        # workload store and the result cache — a "signal" that never
+        # changes, i.e. entries that are never invalidated.
+        raise ValueError(f"workload {name!r}: fingerprint must be a "
+                         f"non-empty string (or None to bypass the "
+                         f"workload store), got {fingerprint!r}")
     if name in _BUILDERS and isinstance(_TAGS[name], str):
         raise ValueError(
             f"workload {name!r} is a built-in application profile and "

@@ -1,0 +1,7 @@
+"""Known-bad fixture tree for the reprolint tests.
+
+Every file here violates one of the RL001-RL004 contracts on purpose;
+tests/test_reprolint.py asserts each rule fires on its designated
+lines.  Nothing in this tree is ever imported — it exists only as AST
+input for the analyzer.
+"""

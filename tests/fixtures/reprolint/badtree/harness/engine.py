@@ -1,0 +1,14 @@
+"""RL003 fixture: the execution entry points, importing one module the
+test excludes from the fingerprint set (``badtree.outside``) and one
+that does not exist at all (``badtree.ghost``)."""
+
+import badtree.ghost                        # RL003: resolves to no file
+from badtree.outside import helper
+
+
+def execute_run(key):
+    return helper(key)
+
+
+def run_replica_batch(config, workload, fault_lists):
+    return [helper(faults) for faults in fault_lists]

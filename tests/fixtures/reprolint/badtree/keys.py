@@ -1,0 +1,31 @@
+"""RL004 fixture: cache-identity types with and without stable
+hash/repr identity."""
+
+from dataclasses import dataclass
+
+
+class Knob:                 # RL004: address-derived identity
+    def __init__(self, value):
+        self.value = value
+
+
+class Overrides(dict):      # RL004: identity carrier without hash/repr
+    pass
+
+
+class GoodTag:              # ok: explicit __hash__ + __repr__
+    def __init__(self, value):
+        self._value = value
+
+    def __hash__(self):
+        return hash(self._value)
+
+    def __repr__(self):
+        return f"GoodTag({self._value!r})"
+
+
+@dataclass(frozen=True)
+class RunKey:               # ok: frozen dataclass
+    app: str
+    knob: "Knob"
+    tag: GoodTag

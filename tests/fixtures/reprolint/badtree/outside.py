@@ -1,0 +1,6 @@
+"""RL003 fixture: reachable from ``execute_run`` but excluded from the
+fingerprint set by the test — the "stale cache" hazard module."""
+
+
+def helper(value):
+    return value

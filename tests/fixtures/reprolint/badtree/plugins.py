@@ -1,0 +1,12 @@
+"""RL003 fixture: a ``register_workload`` call site outside the
+workloads package that forgets its ``fingerprint=`` signal."""
+
+from badtree.workloads.registry import register_workload
+
+
+def build(n_threads, config, intervals, seed):
+    return None
+
+
+TAG = register_workload("plugin_app", build)        # RL003: no fingerprint
+OK = register_workload("pinned_app", build, fingerprint="v1")

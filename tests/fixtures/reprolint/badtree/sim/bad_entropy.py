@@ -1,0 +1,34 @@
+"""RL002 fixture: one of each entropy/ordering hazard, plus one
+suppressed hit (the suppression machinery itself is under test)."""
+
+import random
+import time
+
+
+def stamp():
+    return time.time()                      # RL002: wall clock
+
+
+def stamp_suppressed():
+    return time.time()                      # reprolint: disable=RL002
+
+
+def draw():
+    return random.random()                  # RL002: global RNG
+
+
+def draw_seeded(seed):
+    return random.Random(seed).random()     # ok: seeded instance
+
+
+def order(cores):
+    return sorted(cores, key=lambda c: id(c))   # RL002: id() ordering
+
+
+def collect(pids):
+    total = 0
+    for pid in set(pids):                   # RL002: unordered iteration
+        total += pid
+    for pid in sorted(set(pids)):           # ok: sorted first
+        total += pid
+    return total

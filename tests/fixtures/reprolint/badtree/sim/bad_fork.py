@@ -1,0 +1,22 @@
+"""RL001 fixture: every closure-scheduling spelling the rule must
+catch.  Lines are pinned by tests/test_reprolint.py."""
+
+import heapq
+
+_CALL = 1
+
+
+class BadScheme:
+    def arm(self, machine, when):
+        machine.schedule(when, self.fire)          # RL001: legacy path
+
+    def arm_lambda(self, machine, when):
+        machine.schedule_call(when, lambda t: None)   # RL001: lambda
+
+    def arm_local(self, machine, heap, when):
+        def callback(t):
+            self.fire(t)
+        heapq.heappush(heap, (when, 0, _CALL, callback, None))  # RL001
+
+    def fire(self, when):
+        pass
