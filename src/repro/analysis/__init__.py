@@ -25,6 +25,10 @@ RL003     fingerprint-        import closure of ``execute_run``/
 RL004     cache-identity      types riding in ``RunKey``/``Overrides``/
                               store idents are frozen dataclasses,
                               Enums, or define ``__hash__``+``__repr__``
+RL005     trace-              no in-place mutation of ``CompiledTrace``
+          immutability        ``.ops``/``.args`` columns outside
+                              ``trace.py`` — specs are shared across
+                              runs (store LRU, mmap views, leaders)
 ========  ==================  ===========================================
 
 Run it with ``python -m repro.harness lint [--json] [--rules RL001,...]``;
@@ -52,6 +56,7 @@ from repro.analysis.rules_cache import CacheIdentityRule
 from repro.analysis.rules_determinism import DeterminismRule
 from repro.analysis.rules_fingerprint import FingerprintCoverageRule
 from repro.analysis.rules_fork import ForkSafetyRule
+from repro.analysis.rules_trace import TraceImmutabilityRule
 
 __all__ = [
     "Finding",
@@ -71,14 +76,16 @@ __all__ = [
     "DeterminismRule",
     "FingerprintCoverageRule",
     "CacheIdentityRule",
+    "TraceImmutabilityRule",
 ]
 
 
 def _register_builtins() -> None:
-    """The four production rules register themselves at import time,
+    """The five production rules register themselves at import time,
     exactly like the built-in schemes and workloads do."""
     for rule_cls in (ForkSafetyRule, DeterminismRule,
-                     FingerprintCoverageRule, CacheIdentityRule):
+                     FingerprintCoverageRule, CacheIdentityRule,
+                     TraceImmutabilityRule):
         register_rule(rule_cls())
 
 

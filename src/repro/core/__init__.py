@@ -10,6 +10,7 @@ from repro.core.dep_registers import (
 )
 from repro.core.factory import (
     build_scheme,
+    fault_free_invariant_overrides,
     register_scheme,
     registered_schemes,
     resolve_scheme,
@@ -37,6 +38,7 @@ __all__ = [
     "ReboundScheme",
     "BarrierCheckpointCoordinator",
     "build_scheme",
+    "fault_free_invariant_overrides",
     "register_scheme",
     "registered_schemes",
     "resolve_scheme",

@@ -103,6 +103,20 @@ def resolve_scheme(token: str) -> SchemeLike:
             f"{sorted(_BUILDERS)}") from None
 
 
+def fault_free_invariant_overrides(scheme: SchemeLike) -> frozenset:
+    """Config fields ``scheme``'s fault-free execution provably never
+    reads (``FAULT_FREE_INVARIANT_OVERRIDES`` declared on its builder
+    class) — the engine widens replica batches across overrides of
+    exactly these fields.  Unknown schemes and bare builder callables
+    without the declaration answer the conservative empty set: never
+    widening is always sound."""
+    name = getattr(scheme, "value", scheme)
+    builder = _BUILDERS.get(name)
+    invariant = getattr(builder, "FAULT_FREE_INVARIANT_OVERRIDES",
+                        frozenset())
+    return invariant if isinstance(invariant, frozenset) else frozenset()
+
+
 def build_scheme(machine: "Machine") -> BaseScheme:
     """Instantiate the checkpointing scheme the config asks for."""
     scheme = machine.config.scheme

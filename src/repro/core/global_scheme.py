@@ -27,6 +27,12 @@ class GlobalScheme(BaseScheme):
 
     enabled = False
 
+    #: Fault-free Global execution never consults L: the detection
+    #: latency is only read during recovery (``handle_fault`` →
+    #: ``latest_safe_snapshot``), lazily through ``self.config``, so a
+    #: detection-latency sweep shares one fault-free leader prefix.
+    FAULT_FREE_INVARIANT_OVERRIDES = frozenset({"detection_latency"})
+
     def __init__(self, machine: "Machine"):
         super().__init__(machine)
         # Per-core interval counter ("epoch"): checkpoint k closes epoch k.

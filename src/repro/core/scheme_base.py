@@ -30,6 +30,20 @@ class BaseScheme(DependenceTracker):
 
     enabled = False  # LW-ID / Dep register tracking off by default
 
+    #: Config fields this scheme's **fault-free** execution provably
+    #: never reads: two runs whose configs differ only here are
+    #: bit-identical until their first fault is detected, so the
+    #: engine's replica-batch planner may group them under one leader
+    #: (``ExperimentEngine._batch_key``) — e.g. a whole
+    #: ``fig_l_sensitivity`` detection-latency sweep rides one trace
+    #: pass.  A declared field must only be consumed lazily through
+    #: ``machine.config``/``scheme.config`` (see
+    #: ``Machine.rebind_config``).  The conservative default is empty;
+    #: Rebound cannot declare ``detection_latency`` because dep-register
+    #: recycling (``DepRegisterFile.can_open_interval``) reads L during
+    #: fault-free checkpointing.
+    FAULT_FREE_INVARIANT_OVERRIDES: frozenset = frozenset()
+
     def __init__(self, machine: "Machine"):
         self.machine = machine
         self.config = machine.config
@@ -347,6 +361,9 @@ class BaseScheme(DependenceTracker):
 
 class NoCheckpointScheme(BaseScheme):
     """Baseline with checkpointing disabled (overhead reference runs)."""
+
+    #: No checkpoints, no recovery: the detection latency is never read.
+    FAULT_FREE_INVARIANT_OVERRIDES = frozenset({"detection_latency"})
 
     def __init__(self, machine: "Machine"):
         super().__init__(machine)

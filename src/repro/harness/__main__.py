@@ -19,7 +19,9 @@ Options::
     --cache-dir DIR    result cache location (default benchmarks/.cache)
     --no-cache         bypass the persistent result cache
     --no-vector        force scalar campaign runs (REPRO_VECTOR=0)
-    --profile          print a per-run wall-clock table at the end
+    --chunk-size N     tasks per dispatch chunk (REPRO_CHUNK; adaptive)
+    --profile          print a per-run wall-clock table and the
+                       aggregated workload-store counters at the end
 
 Fault campaigns get their own subcommand (see ``campaign --help``)::
 
@@ -95,13 +97,16 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-vector", dest="vector", action="store_false",
                         help="force scalar campaign runs (same as "
                              "REPRO_VECTOR=0)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="tasks packed per parallel dispatch chunk "
+                             "(default: REPRO_CHUNK or adaptive)")
 
 
 def _build_engine_and_runner(args) -> tuple[ExperimentEngine, Runner]:
     engine = ExperimentEngine(
         jobs=args.jobs, cache_dir=args.cache_dir,
         use_disk_cache=False if args.no_cache else None, verbose=True,
-        vector=args.vector)
+        vector=args.vector, chunk_size=args.chunk_size)
     runner = Runner(scale=args.scale, intervals=args.intervals,
                     verbose=True, engine=engine)
     return engine, runner
@@ -415,6 +420,10 @@ def main(argv: list[str] | None = None) -> int:
             rows, title=f"Per-run wall clock ({len(rows)} computed runs, "
                         f"{total:.1f}s total, {engine.disk_hits} disk-"
                         f"cache hits)"))
+        counters = engine.store_counters()
+        print(f"[workload store] "
+              + ", ".join(f"{name}={count}"
+                          for name, count in counters.items()))
     return 0
 
 

@@ -20,10 +20,24 @@ reclaim the space.
 Workload store: generated workloads are shared across runs through a
 content-addressed store under ``<cache_dir>/workloads`` (see
 :mod:`repro.harness.workload_store`): ``run_many`` prebuilds each
-unique workload once and the pool workers deserialize compact
-compiled-trace IR bytes instead of re-running ``SyntheticWorkload`` per
-run.  ``--no-cache`` (``REPRO_NO_CACHE=1``) disables it along with the
-result cache.
+unique workload once and the pool workers mmap the entry and run over
+read-only views of the compiled-trace IR instead of re-running
+``SyntheticWorkload`` per run.  ``--no-cache`` (``REPRO_NO_CACHE=1``)
+disables it along with the result cache.
+
+Chunked dispatch: ``_run_parallel`` does not submit one pool future per
+task — per-future overhead (pickling a RunKey, a result round-trip, an
+executor wakeup) would dominate sub-second simulations.  Tasks are
+packed into per-worker *chunks* (adaptive size, ``REPRO_CHUNK`` / the
+``chunk_size`` argument to pin it), sorted so tasks sharing a workload
+digest land in the same chunk — together with the store's per-process
+spec LRU (``REPRO_WORKER_LRU``) a worker maps and parses each workload
+once for its whole chunk.  Workers write completed results into the
+disk cache themselves, so a chunk's finished siblings are persisted
+even when a later task in the chunk raises; every failing task still
+reports its own :class:`RunKey`.  Submission keeps a bounded in-flight
+window (2 chunks per worker) so thousand-run campaigns don't hold every
+pending future alive at once.
 
 Vectorized campaign batches: ``run_many`` groups the missing keys by
 everything except their faults — (workload, cores, scheme, intervals,
@@ -46,11 +60,15 @@ settings)::
     REPRO_CACHE_DIR   result cache location (default: benchmarks/.cache)
     REPRO_NO_CACHE    set to 1 to bypass the disk cache entirely
     REPRO_VECTOR      0 forces scalar campaign runs; unset/1 = auto
+    REPRO_CHUNK       tasks per dispatch chunk (default: adaptive)
+    REPRO_WORKER_LRU  per-process loaded-workload LRU size (default 16)
+    REPRO_MMAP        0 forces copying workload loads; unset/1 = mmap
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import pickle
 import sys
@@ -60,6 +78,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional
 
+from repro.core.factory import fault_free_invariant_overrides
 from repro.harness.scenario import EMPTY_OVERRIDES, Overrides
 from repro.harness.workload_store import WorkloadStore
 from repro.params import MachineConfig, Scheme
@@ -194,14 +213,20 @@ def execute_batch(keys: list[RunKey],
     """Run a same-workload replica group through the vector executor.
 
     ``keys`` must agree on every :class:`RunKey` field except their
-    faults (``run_many`` groups them that way); the shared workload is
-    built (and io-injected) once and each key's fault list becomes one
-    replica of the batch.  Returns the per-key stats in input order
-    plus a flag saying whether the batch *fell back* to scalar runs —
-    which happens when the machine cannot be forked (an out-of-tree
-    scheme scheduled a legacy closure callback) or numpy is missing;
-    either way the stats are the same bit-identical results
-    ``execute_run`` would produce.
+    faults — and, for built-in workloads, except overrides of config
+    fields the scheme declared fault-free invariant
+    (:func:`~repro.core.factory.fault_free_invariant_overrides`);
+    ``ExperimentEngine._batch_key`` groups them exactly that way.  The
+    shared workload is built (and io-injected) once, each key's fault
+    list becomes one replica of the batch, and keys whose overrides
+    differ in invariant fields ride the same leader with their own
+    resolved config (``replica_configs``) — a detection-latency sweep
+    under Global is served from one trace pass.  Returns the per-key
+    stats in input order plus a flag saying whether the batch *fell
+    back* to scalar runs — which happens when the machine cannot be
+    forked (an out-of-tree scheme scheduled a legacy closure callback)
+    or numpy is missing; either way the stats are the same
+    bit-identical results ``execute_run`` would produce.
     """
     from repro.sim.vector import run_replica_batch
 
@@ -217,8 +242,13 @@ def execute_batch(keys: list[RunKey],
         workload = inject_output_io(spec=workload, pid=0,
                                     every_instructions=keys[0].io_every)
     fault_lists = [key.fault_list() or [] for key in keys]
+    replica_configs = None
+    if any(key.overrides != keys[0].overrides for key in keys):
+        replica_configs = [config if key.overrides == keys[0].overrides
+                           else resolve_config(key) for key in keys]
     try:
-        result = run_replica_batch(config, workload, fault_lists)
+        result = run_replica_batch(config, workload, fault_lists,
+                                   replica_configs=replica_configs)
     except (UnforkableMachineError, ImportError):
         return [execute_run(key, store) for key in keys], True
     return result.stats, False
@@ -240,22 +270,105 @@ def _worker_store(store_root: Optional[str]) -> Optional[WorkloadStore]:
     return store
 
 
-def _timed_run(key: RunKey,
-               store_root: Optional[str] = None) -> tuple[SimStats, float]:
-    """Worker entry point: run ``key`` and report its wall-clock cost."""
-    store = _worker_store(store_root)
-    start = time.perf_counter()
-    stats = execute_run(key, store)
-    return stats, time.perf_counter() - start
+def _cache_path_for(cache_dir: Path, key: RunKey) -> Path:
+    """Entry path for ``key`` under ``cache_dir`` (workers and the
+    engine derive the identical address — the cache layout has exactly
+    one definition)."""
+    ident = f"{code_fingerprint()}|{key!r}"
+    # Out-of-tree generators live outside src/repro, so the code
+    # fingerprint cannot see their changes: their registration
+    # fingerprint joins the result-cache identity instead (bump it
+    # and old SimStats are never served).  Built-in idents are
+    # unchanged — profile changes already invalidate through the
+    # code fingerprint, and the pre-registry cache layout is pinned
+    # by golden tests.
+    if not is_builtin_workload(key.app):
+        ident += f"|workload:{workload_fingerprint(key.app)}"
+    digest = hashlib.sha256(ident.encode()).hexdigest()
+    return Path(cache_dir) / f"{digest}.pkl"
 
 
-def _timed_batch(keys: list[RunKey], store_root: Optional[str] = None,
-                 ) -> tuple[list[SimStats], float, bool]:
-    """Worker entry point for one replica batch (stats, wall, fell_back)."""
+def _key_disk_cacheable(key: RunKey) -> bool:
+    """A registered generator without a fingerprint has *no*
+    invalidation signal at all (its source is invisible to the code
+    fingerprint), so its results must never be served from disk —
+    the registry promises such workloads are rebuilt per run."""
+    return is_builtin_workload(key.app) \
+        or workload_fingerprint(key.app) is not None
+
+
+def _write_cache_entry(cache_dir: Path, key: RunKey,
+                       stats: SimStats) -> Optional[str]:
+    """Persist one result (atomic replace).  Returns None on success —
+    including the nothing-to-write case — or the error text, so the
+    engine can warn once per session about an unwritable cache."""
+    if not _key_disk_cacheable(key):
+        return None
+    path = _cache_path_for(cache_dir, key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(stats, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic vs. concurrent CI shards
+    except OSError as exc:
+        return str(exc)
+    return None
+
+
+def _portable_exc(exc: BaseException) -> BaseException:
+    """Exceptions cross the pool boundary pickled; one that cannot
+    round-trip (custom ``__init__`` signature, handle-holding payload)
+    would kill the whole chunk result instead of failing its own task,
+    so it degrades to a RuntimeError carrying the repr."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+    except Exception:
+        return RuntimeError(repr(exc))
+    return exc
+
+
+def _run_chunk(chunk: list, store_root: Optional[str] = None,
+               cache_dir: Optional[str] = None) -> tuple[list, Optional[dict]]:
+    """Worker entry point: run a pack of planned tasks back to back.
+
+    Each element of ``chunk`` is a lone :class:`RunKey` or a replica
+    batch (``list[RunKey]``), exactly as ``_plan_tasks`` emitted it.
+    Per task the outcome is ``("ok", payload, seconds, fell_back,
+    cached)`` — ``payload`` is the ``SimStats`` (or list, for a batch)
+    and ``cached`` says every result already landed in the disk cache —
+    or ``("err", exc)``; a raising task never takes its chunk siblings
+    down, and completed siblings are already persisted when it does.
+    The second return value is this call's workload-store counter
+    deltas, so the engine can aggregate store behaviour across worker
+    processes.
+    """
     store = _worker_store(store_root)
-    start = time.perf_counter()
-    stats, fell_back = execute_batch(keys, store)
-    return stats, time.perf_counter() - start, fell_back
+    before = store.counters() if store is not None else None
+    outcomes: list = []
+    for task in chunk:
+        start = time.perf_counter()
+        try:
+            if isinstance(task, list):
+                payload, fell_back = execute_batch(task, store)
+            else:
+                payload, fell_back = execute_run(task, store), False
+        except BaseException as exc:  # noqa: BLE001 - reported per task
+            outcomes.append(("err", _portable_exc(exc)))
+            continue
+        seconds = time.perf_counter() - start
+        cached = False
+        if cache_dir is not None:
+            keys = task if isinstance(task, list) else [task]
+            stats_seq = payload if isinstance(task, list) else [payload]
+            cached = all(_write_cache_entry(cache_dir, key, stats) is None
+                         for key, stats in zip(keys, stats_seq))
+        outcomes.append(("ok", payload, seconds, fell_back, cached))
+    deltas = None
+    if store is not None:
+        deltas = {name: count - before[name]
+                  for name, count in store.counters().items()}
+    return outcomes, deltas
 
 
 _FINGERPRINT: Optional[str] = None
@@ -347,8 +460,20 @@ class ExperimentEngine:
                  cache_dir: Optional[os.PathLike] = None,
                  use_disk_cache: Optional[bool] = None,
                  verbose: bool = False,
-                 vector: Optional[bool] = None):
+                 vector: Optional[bool] = None,
+                 chunk_size: Optional[int] = None):
         self.jobs = max(1, jobs if jobs is not None else default_jobs())
+        if chunk_size is None:
+            env = os.environ.get("REPRO_CHUNK")
+            if env:
+                try:
+                    chunk_size = int(env)
+                except ValueError:
+                    raise ValueError(f"REPRO_CHUNK must be an integer "
+                                     f"chunk size, got {env!r}") from None
+        #: Tasks packed per dispatch chunk (None = adaptive).
+        self.chunk_size = max(1, chunk_size) if chunk_size is not None \
+            else None
         self.cache_dir = Path(cache_dir) if cache_dir is not None \
             else default_cache_dir()
         if use_disk_cache is None:
@@ -380,33 +505,18 @@ class ExperimentEngine:
         self.batch_width: dict[RunKey, int] = {}
         self.disk_hits = 0
         self._store_warned = False
+        #: Workload-store counter deltas shipped back by pool workers
+        #: (:meth:`store_counters` folds the parent store on top).
+        self._worker_counters: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # disk cache
     # ------------------------------------------------------------------
     def _cache_path(self, key: RunKey) -> Path:
-        ident = f"{code_fingerprint()}|{key!r}"
-        # Out-of-tree generators live outside src/repro, so the code
-        # fingerprint cannot see their changes: their registration
-        # fingerprint joins the result-cache identity instead (bump it
-        # and old SimStats are never served).  Built-in idents are
-        # unchanged — profile changes already invalidate through the
-        # code fingerprint, and the pre-registry cache layout is pinned
-        # by golden tests.
-        if not is_builtin_workload(key.app):
-            ident += f"|workload:{workload_fingerprint(key.app)}"
-        digest = hashlib.sha256(ident.encode()).hexdigest()
-        return self.cache_dir / f"{digest}.pkl"
+        return _cache_path_for(self.cache_dir, key)
 
     def _disk_cacheable(self, key: RunKey) -> bool:
-        """A registered generator without a fingerprint has *no*
-        invalidation signal at all (its source is invisible to the code
-        fingerprint), so its results must never be served from disk —
-        the registry promises such workloads are rebuilt per run."""
-        if not self.use_disk_cache:
-            return False
-        return is_builtin_workload(key.app) \
-            or workload_fingerprint(key.app) is not None
+        return self.use_disk_cache and _key_disk_cacheable(key)
 
     def _load_cached(self, key: RunKey) -> Optional[SimStats]:
         if not self._disk_cacheable(key):
@@ -428,20 +538,14 @@ class ExperimentEngine:
     def _store_cached(self, key: RunKey, stats: SimStats) -> None:
         if not self._disk_cacheable(key):
             return
-        path = self._cache_path(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with tmp.open("wb") as fh:
-                pickle.dump(stats, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)  # atomic vs. concurrent CI shards
-        except OSError as exc:
+        error = _write_cache_entry(self.cache_dir, key, stats)
+        if error is not None:
             # Best-effort cache, but say so once: a typo'd --cache-dir
             # otherwise looks identical to a working one.
             if not self._store_warned:
                 self._store_warned = True
                 print(f"  [engine] warning: result cache disabled "
-                      f"({self.cache_dir}: {exc})", flush=True)
+                      f"({self.cache_dir}: {error})", flush=True)
 
     # ------------------------------------------------------------------
     # execution
@@ -492,9 +596,28 @@ class ExperimentEngine:
         """Replica-group identity: everything but the faults.  Keys that
         agree here run the *same* machine up to their first
         fault-detection point, which is exactly what the vector executor
-        shares."""
+        shares.
+
+        Overrides of config fields the scheme declared **fault-free
+        invariant** (``FAULT_FREE_INVARIANT_OVERRIDES``, e.g.
+        ``detection_latency`` under Global/NONE) cannot perturb that
+        shared prefix either, so they are stripped from the identity
+        and the group members carry their own configs through
+        ``execute_batch`` — a detection-latency sweep batches across
+        all its L values.  Only built-in workloads widen: a registered
+        generator receives the full resolved config, so its *traces*
+        could depend on any override.
+        """
+        overrides = key.overrides
+        if overrides and is_builtin_workload(key.app):
+            invariant = fault_free_invariant_overrides(key.scheme)
+            if invariant:
+                kept = {name: value for name, value in overrides.items()
+                        if name not in invariant}
+                if len(kept) != len(overrides):
+                    overrides = Overrides(kept)
         return (key.app, key.n_cores, key.scheme, key.intervals, key.seed,
-                key.scale, key.io_every, key.cluster, key.overrides)
+                key.scale, key.io_every, key.cluster, overrides)
 
     def _plan_tasks(self, missing: list[RunKey]) -> list:
         """The execution plan: each element is a lone :class:`RunKey`
@@ -580,47 +703,143 @@ class ExperimentEngine:
             print(f"  [engine] prebuilt {built} of {shared} shared "
                   f"workload(s) for {len(missing)} runs", flush=True)
 
+    def _affinity_key(self, task):
+        """What a task must share to profit from a chunk-mate: the
+        workload-store digest when addressable (built-ins share one
+        entry across schemes/overrides), else the build parameters."""
+        key = task[0] if isinstance(task, list) else task
+        store = self.workload_store
+        if store is not None:
+            digest = store.digest_for(key.app, key.n_cores,
+                                      resolve_config(key),
+                                      key.intervals, key.seed)
+            if digest is not None:
+                return digest
+        return (workload_name(key.app), key.n_cores, key.intervals,
+                key.seed)
+
+    def _chunk_tasks(self, tasks: list, workers: int) -> list[list]:
+        """Pack the plan into dispatch chunks.
+
+        Size: ``chunk_size`` when pinned, else adaptive — about four
+        chunks per worker (capped at 32 tasks) so the pool stays
+        balanced when task costs vary, without falling back into
+        one-future-per-task overhead.  Order: stable-sorted so tasks
+        with the same workload affinity are adjacent (first-seen group
+        order), maximizing each worker's store-LRU hit rate; within a
+        group the submission order is preserved.
+        """
+        size = self.chunk_size
+        if size is None:
+            size = min(32, max(1, -(-len(tasks) // (workers * 4))))
+        first_seen: dict = {}
+        for task in tasks:
+            first_seen.setdefault(self._affinity_key(task),
+                                  len(first_seen))
+        ordered = sorted(tasks, key=lambda task:
+                         first_seen[self._affinity_key(task)])
+        return [ordered[i:i + size]
+                for i in range(0, len(ordered), size)]
+
+    def _merge_worker_counters(self, deltas: Optional[dict]) -> None:
+        if not deltas:
+            return
+        for name, count in deltas.items():
+            self._worker_counters[name] = \
+                self._worker_counters.get(name, 0) + count
+
+    def store_counters(self) -> dict[str, int]:
+        """Workload-store counters aggregated across every process:
+        the parent store's own, plus the deltas each dispatch chunk
+        shipped back (``--profile`` prints these)."""
+        totals = {name: 0 for name in ("hits", "misses", "builds",
+                                       "lru_hits", "corrupt_rebuilds",
+                                       "write_failures")}
+        for name, count in self._worker_counters.items():
+            totals[name] = totals.get(name, 0) + count
+        if self.workload_store is not None:
+            for name, count in self.workload_store.counters().items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
     def _run_parallel(self, tasks: list, n_runs: int) -> None:
         n_batches = sum(1 for task in tasks if isinstance(task, list))
         workers = min(self.jobs, len(tasks))
+        chunks = self._chunk_tasks(tasks, workers)
+        workers = min(workers, len(chunks))
         if self.verbose:  # pragma: no cover - progress printing
             print(f"  [engine] {n_runs} runs ({n_batches} batches, "
-                  f"{len(tasks) - n_batches} singles) on {workers} "
-                  f"workers ...", flush=True)
+                  f"{len(tasks) - n_batches} singles) in {len(chunks)} "
+                  f"chunk(s) on {workers} workers ...", flush=True)
         store_root = str(self.workload_store.root) \
             if self.workload_store is not None else None
+        cache_root = str(self.cache_dir) if self.use_disk_cache else None
         failures: list[tuple[RunKey, BaseException]] = []
+
+        def fail_task(task, exc: BaseException) -> None:
+            # Collect *every* failing key so one bad run doesn't mask
+            # its siblings (worker tracebacks don't carry arguments).
+            first = task[0] if isinstance(task, list) else task
+            failures.append((first, exc))
+
         with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Bounded in-flight window: a thousand-run campaign must not
+            # hold a future (and its pickled result) per task — two
+            # chunks per worker keep everyone busy while results land
+            # incrementally.
+            chunk_iter = iter(chunks)
             futures: dict = {}
-            for task in tasks:
-                if isinstance(task, list):
-                    futures[pool.submit(_timed_batch, task,
-                                        store_root)] = task
-                else:
-                    futures[pool.submit(_timed_run, task,
-                                        store_root)] = task
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = futures[future]
+            submit_error: Optional[BaseException] = None
+            leftovers: list = []
+
+            def submit_next() -> None:
+                nonlocal submit_error
+                for chunk in itertools.islice(chunk_iter, 1):
+                    if submit_error is not None:
+                        leftovers.append(chunk)
+                        return
                     try:
-                        result = future.result()
+                        futures[pool.submit(_run_chunk, chunk, store_root,
+                                            cache_root)] = chunk
                     except BaseException as exc:  # noqa: BLE001
-                        # Keep draining so completed siblings still land
-                        # in the cache; collect *every* failing key so
-                        # one bad run doesn't mask its siblings (worker
-                        # tracebacks don't carry argument values).
-                        first = task[0] if isinstance(task, list) else task
-                        failures.append((first, exc))
+                        # A broken pool refuses new work; drain what is
+                        # in flight and report the rest as failed.
+                        submit_error = exc
+                        leftovers.append(chunk)
+
+            for _ in range(min(2 * workers, len(chunks))):
+                submit_next()
+            while futures:
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    chunk = futures.pop(future)
+                    try:
+                        outcomes, deltas = future.result()
+                    except BaseException as exc:  # noqa: BLE001
+                        # The whole worker died (OOM kill, broken pool):
+                        # every task of the chunk is lost.
+                        for task in chunk:
+                            fail_task(task, exc)
+                        submit_next()
                         continue
-                    if isinstance(task, list):
-                        stats_list, seconds, fell_back = result
-                        self._finish_batch(task, stats_list, seconds,
-                                           fell_back)
-                    else:
-                        stats, seconds = result
-                        self._finish(task, stats, seconds)
+                    self._merge_worker_counters(deltas)
+                    for task, outcome in zip(chunk, outcomes):
+                        if outcome[0] == "err":
+                            fail_task(task, outcome[1])
+                            continue
+                        _tag, payload, seconds, fell_back, cached = outcome
+                        if isinstance(task, list):
+                            self._finish_batch(task, payload, seconds,
+                                               fell_back, cached=cached)
+                        else:
+                            self._finish(task, payload, seconds,
+                                         cached=cached)
+                    submit_next()
+            leftovers.extend(chunk_iter)   # no-op unless the pool broke
+            for chunk in leftovers:
+                for task in chunk:
+                    fail_task(task, submit_error
+                              or RuntimeError("task was never submitted"))
         if failures:
             lines = [f"  {self._describe(key)}: {exc!r}"
                      for key, exc in failures]
@@ -640,27 +859,36 @@ class ExperimentEngine:
 
     def _announce(self, key: RunKey) -> None:
         if self.verbose:  # pragma: no cover - progress printing
+            scheme = getattr(key.scheme, "value", key.scheme)
             print(f"  running {workload_name(key.app)} x{key.n_cores} "
-                  f"{key.scheme.value} ...", flush=True)
+                  f"{scheme} ...", flush=True)
 
     def _announce_batch(self, group: list[RunKey]) -> None:
         if self.verbose:  # pragma: no cover - progress printing
             key = group[0]
+            scheme = getattr(key.scheme, "value", key.scheme)
             print(f"  running {workload_name(key.app)} x{key.n_cores} "
-                  f"{key.scheme.value} [batch of {len(group)}] ...",
+                  f"{scheme} [batch of {len(group)}] ...",
                   flush=True)
 
-    def _finish(self, key: RunKey, stats: SimStats, seconds: float) -> None:
+    def _finish(self, key: RunKey, stats: SimStats, seconds: float,
+                cached: bool = False) -> None:
+        """Land one result.  ``cached=True`` means the worker already
+        wrote the disk entry (chunked dispatch) — writing it again from
+        the parent would double every entry's serialization cost."""
         self.memo[key] = stats
         self.profile[key] = seconds
-        self._store_cached(key, stats)
+        if not cached:
+            self._store_cached(key, stats)
         if self.verbose and self.jobs > 1:  # pragma: no cover
+            scheme = getattr(key.scheme, "value", key.scheme)
             print(f"  [engine] done {workload_name(key.app)} "
-                  f"x{key.n_cores} {key.scheme.value} ({seconds:.1f}s)",
+                  f"x{key.n_cores} {scheme} ({seconds:.1f}s)",
                   flush=True)
 
     def _finish_batch(self, group: list[RunKey], stats_list: list[SimStats],
-                      seconds: float, fell_back: bool) -> None:
+                      seconds: float, fell_back: bool,
+                      cached: bool = False) -> None:
         """Land a replica batch: cache entries are written *per key* (no
         format change), the batch wall-clock is attributed evenly, and a
         fallback batch records width 1 so ``--profile`` tells the truth."""
@@ -673,7 +901,7 @@ class ExperimentEngine:
         share = seconds / len(group)
         for key, stats in zip(group, stats_list):
             self.batch_width[key] = width
-            self._finish(key, stats, share)
+            self._finish(key, stats, share, cached=cached)
 
     # ------------------------------------------------------------------
     # reporting

@@ -26,14 +26,29 @@ Content addressing: an entry's file name is a SHA-256 over
 
 Stale entries are never read; delete the directory to reclaim space.
 The store is best-effort like the result cache: unreadable or corrupt
-entries are rebuilt, write failures are reported once and ignored.
+entries are rebuilt, write failures are reported once and ignored —
+both are *counted* (``corrupt_rebuilds``, ``write_failures``) and the
+engine surfaces the counters in ``--profile`` output.
+
+Zero-copy loads: entries are loaded by **mmap-ing** the store file and
+building the spec as read-only memoryview traces over the mapping
+(:meth:`WorkloadSpec.from_buffer`) — no read, no parse-time copy; the
+views keep the mapping alive.  ``REPRO_MMAP=0`` falls back to the
+copying ``read_bytes`` + ``from_bytes`` path.  On top of that sits a
+small per-store (hence per-worker-process) **LRU of loaded specs**
+keyed by digest (``REPRO_WORKER_LRU`` entries, default 16; 0 disables),
+so a worker that runs hundreds of tasks of one workload maps and
+parses it once — the engine's chunked dispatch packs same-digest tasks
+into the same worker to maximize exactly this hit rate.
 """
 
 from __future__ import annotations
 
 import hashlib
+import mmap
 import os
 import sys
+from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
@@ -41,6 +56,28 @@ from repro.params import MachineConfig
 from repro.workloads import get_workload, workload_fingerprint
 from repro.workloads.base import WORKLOAD_WIRE_FORMAT, WorkloadSpec
 from repro.workloads.registry import is_builtin_workload
+
+#: Default capacity of the per-store loaded-spec LRU.
+DEFAULT_LRU_CAPACITY = 16
+
+
+def _env_capacity() -> int:
+    env = os.environ.get("REPRO_WORKER_LRU")
+    if not env:
+        return DEFAULT_LRU_CAPACITY
+    try:
+        return max(0, int(env))
+    except ValueError:
+        raise ValueError(f"REPRO_WORKER_LRU must be an integer entry "
+                         f"count, got {env!r}") from None
+
+
+def _env_mmap() -> bool:
+    env = os.environ.get("REPRO_MMAP")
+    if env is None or env == "":
+        return True
+    from repro.harness.engine import _env_flag
+    return _env_flag("REPRO_MMAP", env)
 
 _WORKLOADS_DIR = Path(__file__).resolve().parents[1] / "workloads"
 _TRACE_MODULE = Path(__file__).resolve().parents[1] / "trace.py"
@@ -78,15 +115,39 @@ class WorkloadStore:
     in-process store only).
     """
 
-    def __init__(self, root: os.PathLike):
+    def __init__(self, root: os.PathLike,
+                 lru_capacity: Optional[int] = None,
+                 use_mmap: Optional[bool] = None):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
         self.builds = 0        # entries actually generated (miss or ensure)
+        #: Loads served from the in-process LRU (subset of ``hits``):
+        #: no file I/O, no parse, the previously loaded spec object.
+        self.lru_hits = 0
+        #: Entries that existed on disk but failed to parse and were
+        #: rebuilt — a nonzero count means something is corrupting the
+        #: store (torn writes survive ``os.replace``? foreign bytes?).
+        self.corrupt_rebuilds = 0
+        #: Failed entry writes (the first one also disables the store).
+        self.write_failures = 0
         #: Set on the first failed write: an unwritable store would
         #: otherwise pay mkdir + tmp-write + rebuild on every run while
         #: claiming to be disabled.
         self.disabled = False
+        self._lru_capacity = lru_capacity if lru_capacity is not None \
+            else _env_capacity()
+        self._use_mmap = use_mmap if use_mmap is not None else _env_mmap()
+        self._lru: OrderedDict[str, WorkloadSpec] = OrderedDict()
+
+    def counters(self) -> dict[str, int]:
+        """The load/build/failure counters as one dict — what a pool
+        worker ships back so the engine can aggregate store behaviour
+        across processes for ``--profile``."""
+        return {"hits": self.hits, "misses": self.misses,
+                "builds": self.builds, "lru_hits": self.lru_hits,
+                "corrupt_rebuilds": self.corrupt_rebuilds,
+                "write_failures": self.write_failures}
 
     # ------------------------------------------------------------------
     # addressing
@@ -123,12 +184,40 @@ class WorkloadStore:
     # load/save (best-effort, like the result cache)
     # ------------------------------------------------------------------
     def load(self, digest: str) -> Optional[WorkloadSpec]:
+        spec = self._lru.get(digest)
+        if spec is not None:
+            self._lru.move_to_end(digest)
+            self.lru_hits += 1
+            return spec
+        path = self.path_for(digest)
         try:
-            data = self.path_for(digest).read_bytes()
-            return WorkloadSpec.from_bytes(data)
+            if self._use_mmap:
+                with path.open("rb") as fh:
+                    # The mapping outlives the handle: the spec's trace
+                    # views hold it alive, the fd can close immediately.
+                    mapped = mmap.mmap(fh.fileno(), 0,
+                                       access=mmap.ACCESS_READ)
+                spec = WorkloadSpec.from_buffer(mapped)
+            else:
+                spec = WorkloadSpec.from_bytes(path.read_bytes())
+        except FileNotFoundError:
+            return None            # a clean miss, not a corrupt entry
         except Exception:
-            # Missing, truncated or foreign entry: a miss, never a crash.
+            # Truncated or foreign entry: a miss, never a crash — but a
+            # *counted* one, so --profile can surface a store that is
+            # silently rebuilding on every run.
+            self.corrupt_rebuilds += 1
             return None
+        self._remember(digest, spec)
+        return spec
+
+    def _remember(self, digest: str, spec: WorkloadSpec) -> None:
+        if self._lru_capacity <= 0:
+            return
+        self._lru[digest] = spec
+        self._lru.move_to_end(digest)
+        while len(self._lru) > self._lru_capacity:
+            self._lru.popitem(last=False)
 
     def save(self, digest: str, spec: WorkloadSpec) -> None:
         if self.disabled:
@@ -140,6 +229,7 @@ class WorkloadStore:
             tmp.write_bytes(spec.to_bytes())
             os.replace(tmp, path)  # atomic vs. concurrent workers
         except OSError as exc:
+            self.write_failures += 1
             self.disabled = True
             print(f"  [engine] warning: workload store disabled "
                   f"({self.root}: {exc})", flush=True)
@@ -164,6 +254,7 @@ class WorkloadStore:
                             intervals=intervals, seed=seed)
         self.builds += 1
         self.save(digest, spec)
+        self._remember(digest, spec)
         return spec
 
     def ensure(self, app, n_threads: int, config: MachineConfig,

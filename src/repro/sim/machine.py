@@ -509,6 +509,26 @@ class Machine:
             heapq.heapify(clone._heap)
         return clone
 
+    def rebind_config(self, config: MachineConfig) -> None:
+        """Re-point a forked replica at its *own* resolved config.
+
+        The batch planner only groups keys whose configs differ in
+        fields the scheme declared **fault-free invariant**
+        (``FAULT_FREE_INVARIANT_OVERRIDES``, e.g. ``detection_latency``
+        for Global/NONE): the shared leader prefix is bit-identical
+        under either config, but everything that runs *after* the fork
+        — fault detection times (:meth:`install_faults` re-reads
+        ``self.config``), recovery's safe-snapshot search and IRec
+        construction (both read ``scheme.config`` lazily), and the
+        final stats equality (``SimStats.config``) — must see the
+        replica's config, not the leader's.  Invariant fields must be
+        read lazily through these references; capturing one at
+        construction time would make this rebind a silent no-op.
+        """
+        self.config = config
+        self.stats.config = config
+        self.scheme.config = config
+
     def install_faults(self, faults: list[tuple[float, int]] | FaultPlan,
                        ) -> None:
         """Arm a forked replica with its fault campaign.

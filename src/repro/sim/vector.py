@@ -132,7 +132,10 @@ def run_replica_batch(config: MachineConfig, workload: WorkloadSpec,
                       fault_lists: Sequence[FaultList],
                       forced_spills: Optional[Sequence[Optional[float]]]
                       = None,
-                      max_cycles: Optional[float] = None) -> BatchResult:
+                      max_cycles: Optional[float] = None,
+                      replica_configs:
+                      Optional[Sequence[MachineConfig]] = None,
+                      ) -> BatchResult:
     """Run N replicas of one workload, sharing their common prefix.
 
     ``fault_lists[i]`` is replica *i*'s fault campaign (empty = fault
@@ -142,6 +145,19 @@ def run_replica_batch(config: MachineConfig, workload: WorkloadSpec,
     results stay bit-identical.  Returns per-replica ``SimStats`` in
     input order, each equal to ``Machine(config, workload,
     faults=fault_lists[i]).run(max_cycles)``.
+
+    ``replica_configs[i]`` (default: ``config`` for everyone) lets the
+    replicas differ in config fields the scheme declared **fault-free
+    invariant** (``FAULT_FREE_INVARIANT_OVERRIDES``, e.g.
+    ``detection_latency`` under Global/NONE): the shared fault-free
+    prefix is bit-identical under every member's config by that
+    declaration, each replica's divergence clock uses its *own*
+    detection latency, and each fork is re-pointed at its own config
+    (:meth:`Machine.rebind_config`) before its faults are installed —
+    replica *i*'s stats then equal ``Machine(replica_configs[i],
+    workload, faults=fault_lists[i]).run(max_cycles)``.  The caller
+    (``ExperimentEngine._batch_key``) is responsible for only grouping
+    configs whose differences are declared invariant.
 
     Raises :class:`UnforkableMachineError` if the machine cannot be
     forked (pending closure callbacks) and ``ImportError`` without
@@ -156,11 +172,18 @@ def run_replica_batch(config: MachineConfig, workload: WorkloadSpec,
     if forced_spills is not None and len(forced_spills) != n:
         raise ValueError(f"forced_spills has {len(forced_spills)} "
                          f"entries for {n} replicas")
+    if replica_configs is not None and len(replica_configs) != n:
+        raise ValueError(f"replica_configs has {len(replica_configs)} "
+                         f"entries for {n} replicas")
+
+    def config_of(index: int) -> MachineConfig:
+        return config if replica_configs is None \
+            else replica_configs[index]
 
     # -- batch schedule: (N,)-shaped replica state ----------------------
-    latency = config.detection_latency
-    first_detect = _np.array([_first_detect(faults, latency)
-                              for faults in fault_lists])
+    first_detect = _np.array([
+        _first_detect(faults, config_of(i).detection_latency)
+        for i, faults in enumerate(fault_lists)])
     forced = _np.full(n, _np.inf)
     if forced_spills is not None:
         for i, at in enumerate(forced_spills):
@@ -188,7 +211,7 @@ def run_replica_batch(config: MachineConfig, workload: WorkloadSpec,
     results: list[Optional[SimStats]] = [None] * n
 
     for index in _np.nonzero(direct)[0]:
-        results[index] = Machine(config, workload,
+        results[index] = Machine(config_of(index), workload,
                                  faults=list(fault_lists[index])
                                  ).run(max_cycles)
         report.spilled += 1
@@ -211,6 +234,9 @@ def run_replica_batch(config: MachineConfig, workload: WorkloadSpec,
         # machine only to abandon the original.
         last = position == len(fork_order) - 1 and not served
         replica = leader if last else leader.fork()
+        rc = config_of(index)
+        if rc is not config:
+            replica.rebind_config(rc)
         replica.install_faults(list(fault_lists[index]))
         replica.advance()
         results[index] = replica.finalize()
@@ -221,13 +247,20 @@ def run_replica_batch(config: MachineConfig, workload: WorkloadSpec,
     if served:
         # Fault-free replicas: the leader *is* their run.  Serve the
         # first directly and deep-copy for the rest so no two RunKeys
-        # alias one mutable SimStats.
+        # alias one mutable SimStats.  A served replica with its own
+        # (invariant-field) config gets it stamped into the stats — the
+        # run itself is identical, but ``SimStats.config`` equality with
+        # the scalar twin is part of the bit-identity contract.
         if not leader.finished:
             leader.advance()
         base = leader.finalize()
         results[served[0]] = base
         for i in served[1:]:
             results[i] = copy.deepcopy(base)
+        for i in served:
+            rc = config_of(i)
+            if rc is not config:
+                results[i].config = rc
         report.leader_served = len(served)
 
     # Shared-prefix accounting: each *forked* replica saved its

@@ -78,6 +78,11 @@ TRACE_WIRE_FORMAT = 1
 
 _HEADER = struct.Struct("<HHQQ")   # wire format, reserved, n records, n instr
 
+#: Every defined op value as a byte string: ``bytes.translate`` with
+#: this as the deletion set validates a whole ops column at C speed
+#: (anything surviving the deletion is an unknown op).
+_VALID_OP_BYTES = bytes(range(COMPUTE, END + 1))
+
 
 class CompiledTrace:
     """Columnar trace IR: parallel ``ops``/``args`` arrays.
@@ -199,6 +204,53 @@ class CompiledTrace:
         ops.frombytes(data[_HEADER.size:ops_end])
         args.frombytes(data[ops_end:args_end])
         return cls(ops, args, n_instructions=n_instr)
+
+    @classmethod
+    def from_buffer(cls, data, offset: int = 0) -> "CompiledTrace":
+        """Zero-copy view constructor over a serialized trace.
+
+        ``data`` is any buffer (an ``mmap``, ``bytes``, a
+        ``memoryview``) holding a :meth:`to_bytes` image at ``offset``.
+        The returned trace's ``ops``/``args`` columns are **read-only
+        memoryviews aliasing the buffer** — nothing is copied, and the
+        views keep the underlying buffer (and a mapped store file)
+        alive.  View-backed traces behave identically to array-backed
+        ones everywhere the simulator reads them (``tolist``,
+        ``numpy_columns``, indexing, equality); the read-only contract
+        is enforced both by the views themselves (writes raise) and
+        statically by reprolint rule RL005.
+
+        Returns the parsed trace; the caller advances its own cursor by
+        ``_HEADER.size + n * 9`` (see ``WorkloadSpec.from_buffer``,
+        which carries explicit section lengths instead).
+        """
+        view = memoryview(data).toreadonly().cast("B")
+        if len(view) - offset < _HEADER.size:
+            raise ValueError("truncated compiled-trace header")
+        version, _, n, n_instr = _HEADER.unpack_from(view, offset)
+        if version != TRACE_WIRE_FORMAT:
+            raise ValueError(
+                f"compiled-trace wire format {version} != "
+                f"{TRACE_WIRE_FORMAT}")
+        ops_start = offset + _HEADER.size
+        args_start = ops_start + n          # array('b').itemsize == 1
+        end = args_start + n * 8            # array('q').itemsize == 8
+        if len(view) < end:
+            raise ValueError(
+                f"compiled-trace payload needs {end - offset} bytes, "
+                f"buffer holds {len(view) - offset}")
+        ops_raw = view[ops_start:args_start]
+        # C-speed exact validation: delete every defined op byte; any
+        # survivor is an unknown op (min()/max() over a memoryview
+        # would iterate in Python).
+        bad = bytes(ops_raw).translate(None, delete=_VALID_OP_BYTES)
+        if bad:
+            raise ValueError(f"unknown trace op {bad[0]!r}")
+        trace = cls.__new__(cls)
+        trace.ops = ops_raw.cast(OP_TYPECODE)
+        trace.args = view[args_start:end].cast(ARG_TYPECODE)
+        trace.n_instructions = n_instr
+        return trace
 
 
 class TraceBuilder:

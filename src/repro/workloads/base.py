@@ -11,16 +11,26 @@ the harness's content-addressed workload store.
 from __future__ import annotations
 
 import pickle
+import struct
 from dataclasses import dataclass, field
 
 from repro.trace import CompiledTrace, compile_trace
 
 #: Bump when the serialized workload layout changes incompatibly.
-WORKLOAD_WIRE_FORMAT = 1
+#: 2: zero-copy container — the traces moved out of the pickled
+#:    metadata into raw, offset-addressed sections after it, so
+#:    ``from_buffer`` can build memoryview-backed traces straight over
+#:    a mapped store file instead of copying them through pickle.
+WORKLOAD_WIRE_FORMAT = 2
 
 #: Fixed pickle protocol so the byte image of a workload is identical
 #: across interpreter lines (the store's determinism guarantee).
 _WIRE_PICKLE_PROTOCOL = 4
+
+#: Container header: wire format, reserved, metadata pickle length.
+#: The raw trace sections follow the metadata back to back; their
+#: lengths ride inside the metadata.
+_WIRE_HEADER = struct.Struct("<HHQ")
 
 
 @dataclass(frozen=True)
@@ -62,33 +72,74 @@ class WorkloadSpec:
     # wire format (workload store)
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Deterministic serialized form: the traces as flat compiled-IR
-        bytes, the sync plan as plain ints — the same workload content
-        always produces the same byte string."""
-        payload = (
-            WORKLOAD_WIRE_FORMAT,
+        """Deterministic serialized form: a fixed header, a pickled
+        metadata block (name, per-trace section lengths, sync plan as
+        plain ints), then each trace's flat compiled-IR bytes *raw* —
+        addressable by offset, so :meth:`from_buffer` can view them in
+        place.  The same workload content always produces the same byte
+        string."""
+        blobs = [compile_trace(t).to_bytes() for t in self.traces]
+        meta = pickle.dumps((
             self.name,
-            [compile_trace(t).to_bytes() for t in self.traces],
+            [len(blob) for blob in blobs],
             [(lock.lock_id, lock.line) for lock in self.locks],
             [(b.barrier_id, tuple(b.participants), b.count_line,
               b.flag_line) for b in self.barriers],
-        )
-        return pickle.dumps(payload, protocol=_WIRE_PICKLE_PROTOCOL)
+        ), protocol=_WIRE_PICKLE_PROTOCOL)
+        header = _WIRE_HEADER.pack(WORKLOAD_WIRE_FORMAT, 0, len(meta))
+        return b"".join([header, meta] + blobs)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "WorkloadSpec":
-        """Inverse of :meth:`to_bytes` (raises ValueError on mismatch)."""
-        payload = pickle.loads(data)
-        if not isinstance(payload, tuple) or len(payload) != 5 \
-                or payload[0] != WORKLOAD_WIRE_FORMAT:
-            raise ValueError("unrecognized serialized workload")
-        _, name, traces, locks, barriers = payload
+    def _parse(cls, data, trace_of) -> "WorkloadSpec":
+        """Shared container parsing; ``trace_of(offset, length)`` builds
+        each trace from its raw section."""
+        if len(data) < _WIRE_HEADER.size:
+            raise ValueError("truncated serialized workload")
+        version, _, meta_len = _WIRE_HEADER.unpack_from(data)
+        if version != WORKLOAD_WIRE_FORMAT:
+            raise ValueError(
+                f"serialized workload wire format {version} != "
+                f"{WORKLOAD_WIRE_FORMAT}")
+        meta_end = _WIRE_HEADER.size + meta_len
+        if len(data) < meta_end:
+            raise ValueError("truncated serialized workload metadata")
+        name, lengths, locks, barriers = pickle.loads(
+            bytes(data[_WIRE_HEADER.size:meta_end]))
+        if len(data) != meta_end + sum(lengths):
+            raise ValueError(
+                f"serialized workload is {len(data)} bytes, expected "
+                f"{meta_end + sum(lengths)}")
+        traces = []
+        offset = meta_end
+        for length in lengths:
+            traces.append(trace_of(offset, length))
+            offset += length
         return cls(
             name=name,
-            traces=[CompiledTrace.from_bytes(t) for t in traces],
+            traces=traces,
             locks=[LockSpec(lock_id, line) for lock_id, line in locks],
             barriers=[BarrierSpec(barrier_id, list(participants),
                                   count_line, flag_line)
                       for barrier_id, participants, count_line, flag_line
                       in barriers],
         )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WorkloadSpec":
+        """Inverse of :meth:`to_bytes` (raises ValueError on mismatch);
+        the traces are independent array-backed copies."""
+        return cls._parse(
+            data,
+            lambda offset, length:
+                CompiledTrace.from_bytes(bytes(data[offset:offset + length])))
+
+    @classmethod
+    def from_buffer(cls, data) -> "WorkloadSpec":
+        """Zero-copy variant of :meth:`from_bytes`: the traces are
+        read-only :meth:`CompiledTrace.from_buffer` views aliasing
+        ``data`` (an ``mmap``, ``bytes`` or ``memoryview``), which stays
+        alive as long as any trace does.  The workload store's mmap load
+        path goes through here."""
+        return cls._parse(
+            data,
+            lambda offset, _length: CompiledTrace.from_buffer(data, offset))

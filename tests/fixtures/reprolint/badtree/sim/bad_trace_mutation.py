@@ -1,0 +1,15 @@
+"""RL005 fixture: in-place mutation of shared CompiledTrace columns."""
+
+
+def clobber(trace, core):
+    trace.ops[0] = 5
+    trace.args[3] += 1
+    trace.ops.frombytes(b"\x00")
+    del trace.args[0]
+    # Legal: rebinding an attribute replaces the reference, never the
+    # shared buffer; a bare local array under construction is fine too.
+    core.ops = trace.ops.tolist()
+    ops = []
+    ops.append(1)
+    trace.args = list(trace.args)
+    trace.ops[1] = 2  # reprolint: disable=RL005

@@ -59,8 +59,9 @@ class TestShippedTreeClean:
         report = run_lint()
         assert report.ok, report.render()
         assert report.findings == []
-        # All four production rules actually ran over the whole package.
-        assert report.rules == ("RL001", "RL002", "RL003", "RL004")
+        # All five production rules actually ran over the whole package.
+        assert report.rules == ("RL001", "RL002", "RL003", "RL004",
+                                "RL005")
         assert report.checked_files >= 50
 
     def test_default_project_fingerprint_matches_engine(self):
@@ -174,6 +175,45 @@ class TestRL004CacheIdentity:
         assert "RunKey" not in messages
 
 
+class TestRL005TraceImmutability:
+    def test_every_mutation_spelling_fires(self):
+        findings = findings_for("RL005")
+        assert all(f.path == "sim/bad_trace_mutation.py"
+                   for f in findings)
+        by_line = {finding.line: finding.message for finding in findings}
+        assert 5 in by_line and ".ops" in by_line[5]          # a[i] = v
+        assert 6 in by_line and "augmented" in by_line[6]     # a[i] += v
+        assert 7 in by_line and ".frombytes" in by_line[7]    # mutator
+        assert 8 in by_line and "deletion" in by_line[8]      # del a[i]
+        assert len(findings) == 4
+
+    def test_rebinding_and_locals_not_flagged(self):
+        # ``core.ops = trace.ops.tolist()`` (attribute rebind), a bare
+        # local ``ops.append`` and ``trace.args = list(...)`` are all
+        # legal — only *in-place* column mutation is the hazard.
+        findings = findings_for("RL005")
+        assert all(finding.line not in (11, 12, 13, 14)
+                   for finding in findings)
+
+    def test_suppression_honoured(self):
+        report = run_lint(badtree_project(), rules=["RL005"])
+        assert all(finding.line != 15 for finding in report.findings)
+        assert report.suppressed == 1
+
+    def test_trace_builder_home_is_exempt(self, tmp_path):
+        # trace.py owns the builder: from_bytes fills fresh arrays via
+        # exactly the calls RL005 bans elsewhere.
+        (tmp_path / "trace.py").write_text(
+            "def from_bytes(self, data):\n"
+            "    self.ops.frombytes(data)\n")
+        (tmp_path / "other.py").write_text(
+            "def bad(t, data):\n"
+            "    t.ops.frombytes(data)\n")
+        report = run_lint(Project(root=tmp_path, package="pkg"),
+                          rules=["RL005"])
+        assert [f.path for f in report.findings] == ["other.py"]
+
+
 class TestFramework:
     def test_unknown_rule_code_errors(self):
         with pytest.raises(LintError, match="RL999"):
@@ -191,7 +231,8 @@ class TestFramework:
         report = run_lint(badtree_project())
         payload = json.loads(report.render_json())
         assert payload["ok"] is False
-        assert payload["rules"] == ["RL001", "RL002", "RL003", "RL004"]
+        assert payload["rules"] == ["RL001", "RL002", "RL003", "RL004",
+                                    "RL005"]
         assert payload["suppressed"] == report.suppressed
         assert len(payload["findings"]) == len(report.findings)
         first = payload["findings"][0]
@@ -294,7 +335,7 @@ class TestLintCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL001", "RL002", "RL003", "RL004"):
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
             assert code in out
 
 
