@@ -58,6 +58,8 @@ class Directory:
     protocol's round-trip constants.
     """
 
+    __slots__ = ("n_cores", "_entries", "lookups")
+
     def __init__(self, n_cores: int):
         self.n_cores = n_cores
         self._entries: dict[int, DirEntry] = {}

@@ -24,7 +24,6 @@ Flows implemented (Figure 3.2a):
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Callable, Optional
 
 from repro.coherence.directory import Directory, EXCL, SHARED, UNCACHED
@@ -76,13 +75,39 @@ class DependenceTracker:
         """Interval owning pid's Delayed lines (the one being drained)."""
         return self.interval_of(pid)
 
+    def on_fastpath_epoch(self, pid: int) -> None:
+        """``pid``'s fast-path residency epoch advanced.
+
+        Fired (via :meth:`CoherenceEngine.fastpath_epoch`) on every event
+        that can change a line's provable-hit status for ``pid`` —
+        eviction, invalidation, downgrade, checkpoint-interval advance
+        (WSIG epoch), delayed-writeback activity, rollback.  Schemes that
+        cache per-interval residency assumptions override this one hook
+        instead of poking cache internals; the default tracks nothing.
+        """
+
 
 class CoherenceEngine:
     """Executes loads, stores, writebacks and invalidations.
 
     All latencies follow Figure 4.3(a); message counts are kept per class
     so the harness can report the extra traffic Rebound adds (Table 6.1).
+
+    Energy events are plain ``__slots__`` int fields (one per accounting
+    class) rather than a ``Counter``: the dict-keyed ``+=`` was a
+    measurable fraction of every miss.  :meth:`energy_events` rebuilds
+    the historical mapping for :class:`~repro.sim.stats.SimStats`.
     """
+
+    __slots__ = (
+        "config", "channels", "memory", "network", "tracker", "directory",
+        "l1s", "l2s",
+        "energy_l1", "energy_l2", "energy_dir", "energy_dram", "energy_log",
+        "energy_wsig", "energy_depreg",
+        "fast_loads", "fast_stores", "fastpath_epochs",
+        "ckpt_wait", "invalidations_sent", "forced_delayed_writebacks",
+        "golden",
+    )
 
     def __init__(self, config: MachineConfig, channels: MemoryChannels,
                  memory: MainMemory, network: Interconnect,
@@ -95,7 +120,23 @@ class CoherenceEngine:
         self.directory = Directory(config.n_cores)
         self.l1s = [L1Cache(config.l1) for _ in range(config.n_cores)]
         self.l2s = [Cache(config.l2) for _ in range(config.n_cores)]
-        self.energy = Counter()
+        self.energy_l1 = 0
+        self.energy_l2 = 0
+        self.energy_dir = 0
+        self.energy_dram = 0
+        self.energy_log = 0
+        self.energy_wsig = 0
+        self.energy_depreg = 0
+        # Accesses serviceable on the fast path: loads hitting the L1
+        # residency filter, stores to MODIFIED non-Delayed lines.  These
+        # count *eligibility*, so the slow path bumps them in exactly the
+        # branches the inline fast path services — the totals are
+        # invariant under REPRO_FASTPATH.
+        self.fast_loads = 0
+        self.fast_stores = 0
+        # Per-core residency-filter epochs: bumped on every event that
+        # can change a line's provable-hit status (see fastpath_epoch).
+        self.fastpath_epochs = [0] * config.n_cores
         # Demand-wait cycles caused by checkpoint traffic, per core
         # (feeds the IPCDelay category of Figure 6.5).
         self.ckpt_wait = [0.0] * config.n_cores
@@ -105,6 +146,79 @@ class CoherenceEngine:
         # the simulator's serialization order.  Used by the coherence
         # property tests (config.check_coherence).
         self.golden: dict[int, int] = {}
+
+    def energy_events(self) -> dict:
+        """The per-class energy-event mapping (Counter-compatible shape).
+
+        Only classes with at least one event appear, matching the old
+        ``Counter`` behaviour where a key existed iff it was bumped.
+        """
+        events = {}
+        for key, count in (("l1", self.energy_l1), ("l2", self.energy_l2),
+                           ("dir", self.energy_dir),
+                           ("dram", self.energy_dram),
+                           ("log", self.energy_log),
+                           ("wsig", self.energy_wsig),
+                           ("depreg", self.energy_depreg)):
+            if count:
+                events[key] = count
+        return events
+
+    # ------------------------------------------------------------------
+    # fast-path residency services
+    # ------------------------------------------------------------------
+    def fastpath_epoch(self, pid: int) -> None:
+        """Advance ``pid``'s residency-filter epoch.
+
+        The single funnel for every event that can change a line's
+        provable-hit status for ``pid`` — eviction, invalidation,
+        downgrade, delayed-writeback activity, checkpoint-interval
+        advance, rollback.  Fires the scheme's
+        :meth:`DependenceTracker.on_fastpath_epoch` hook; fired
+        identically whether the fast path is on or off, so the epoch
+        totals are mode-invariant.
+        """
+        self.fastpath_epochs[pid] += 1
+        self.tracker.on_fastpath_epoch(pid)
+
+    def flush_fastpath(self, l1_loads: list, l2_loads: list,
+                       stores: list) -> None:
+        """Fold batched per-core fast-path counters into the aggregates.
+
+        ``l1_loads[pid]``/``l2_loads[pid]``/``stores[pid]`` are the hits
+        the machine's inline fast path serviced since the last flush
+        (loads by the level that supplied them).  The bumps mirror, one
+        for one, what the slow path would have accumulated had each
+        access entered :meth:`load`/:meth:`store`: hit/miss counters on
+        the cache level each access touched, and the l1/l2 energy
+        events.  The lists are zeroed in place.
+        """
+        total_l1 = 0
+        total_l2 = 0
+        total_stores = 0
+        l1s = self.l1s
+        l2s = self.l2s
+        for pid, n in enumerate(l1_loads):
+            if n:
+                l1s[pid].n_hits += n
+                total_l1 += n
+                l1_loads[pid] = 0
+        for pid, n in enumerate(l2_loads):
+            if n:
+                l1s[pid].n_misses += n
+                l2s[pid].n_hits += n
+                total_l2 += n
+                l2_loads[pid] = 0
+        for pid, n in enumerate(stores):
+            if n:
+                l2s[pid].n_hits += n
+                total_stores += n
+                stores[pid] = 0
+        if total_l1 or total_l2 or total_stores:
+            self.fast_loads += total_l1 + total_l2
+            self.fast_stores += total_stores
+            self.energy_l1 += total_l1 + total_l2 + total_stores
+            self.energy_l2 += total_l2 + total_stores
 
     def _check_load(self, addr: int, value: int) -> None:
         if self.config.check_coherence:
@@ -127,16 +241,16 @@ class CoherenceEngine:
         # The consumer's MyProducers is updated as the line arrives, before
         # any NO_WR could revert it (superset semantics, Section 3.3.2).
         self.tracker.record_producer(consumer, producer)
-        self.energy["depreg"] += 1
+        self.energy_depreg += 1
         claims, genuine = self.tracker.query_writer(producer, entry.addr)
-        self.energy["wsig"] += 1
+        self.energy_wsig += 1
         if not piggybacked:
             # Dedicated "are you the last writer?" query + reply.
             self.network.send(MessageClass.DEP, 2)
         if claims:
             self.tracker.record_consumer(producer, consumer, entry.addr,
                                          genuine)
-            self.energy["depreg"] += 1
+            self.energy_depreg += 1
         else:
             # NO_WR: tell the directory to clear the stale LW-ID.
             self.network.send(MessageClass.DEP, 1)
@@ -146,13 +260,14 @@ class CoherenceEngine:
         entry.lw_id = pid
         if self.tracker.enabled:
             self.tracker.on_write(pid, entry.addr)
-            self.energy["wsig"] += 1
+            self.energy_wsig += 1
 
     # ------------------------------------------------------------------
     # internal helpers
     # ------------------------------------------------------------------
     def _evict(self, pid: int, victim, now: float) -> None:
         """Handle an L2 victim: write back if dirty, update directory."""
+        self.fastpath_epoch(pid)
         self.l1s[pid].invalidate(victim.addr)  # inclusion
         interval = self.tracker.interval_of(pid)
         if victim.delayed:
@@ -166,13 +281,13 @@ class CoherenceEngine:
                                     checkpoint=False)
             self.memory.writeback(now, pid, victim.addr, victim.value,
                                   interval)
-            self.energy["dram"] += 2
-            self.energy["log"] += 1
+            self.energy_dram += 2
+            self.energy_log += 1
             self.network.send(MessageClass.BASE, 1)
         else:
             self.network.send(MessageClass.BASE, 1)  # PUTS notification
         self.directory.evict_copy(victim.addr, pid)
-        self.energy["dir"] += 1
+        self.energy_dir += 1
 
     def _install(self, pid: int, addr: int, state: int, value: int,
                  now: float):
@@ -188,6 +303,7 @@ class CoherenceEngine:
         for sharer in entry.sharer_list():
             if sharer == keep:
                 continue
+            self.fastpath_epoch(sharer)
             line = self.l2s[sharer].invalidate(entry.addr)
             self.l1s[sharer].invalidate(entry.addr)
             if line is not None and line.delayed:
@@ -210,10 +326,11 @@ class CoherenceEngine:
                           downgrade_to_shared: bool) -> int:
         """Serve a miss from the exclusive owner's L2; returns the value."""
         owner = entry.owner
+        self.fastpath_epoch(owner)  # downgrade or invalidation below
         oline = self.l2s[owner].peek(entry.addr)
         assert oline is not None, "directory owner lost the line"
         value = oline.value
-        self.energy["l2"] += 1
+        self.energy_l2 += 1
         if oline.delayed:
             # Forced early writeback of a Delayed line (Section 4.1).
             self.channels.writeback(now, entry.addr, logged=True,
@@ -233,8 +350,8 @@ class CoherenceEngine:
                                         checkpoint=False)
                 self.memory.writeback(now, owner, entry.addr, oline.value,
                                       self.tracker.interval_of(owner))
-                self.energy["dram"] += 2
-                self.energy["log"] += 1
+                self.energy_dram += 2
+                self.energy_log += 1
                 oline.dirty = False
             oline.state = L_SHARED
             entry.mode = SHARED
@@ -253,46 +370,54 @@ class CoherenceEngine:
     # ------------------------------------------------------------------
     def load(self, pid: int, addr: int, now: float) -> float:
         """Execute a load; returns its latency in cycles."""
-        self.energy["l1"] += 1
+        config = self.config
+        self.energy_l1 += 1
         if self.l1s[pid].contains(addr):
-            if self.config.check_coherence:
+            # Fast-path-eligible: counted here so the total is invariant
+            # under REPRO_FASTPATH (the inline fast path batches the
+            # same bump and the engine is then never entered).
+            self.fast_loads += 1
+            if config.check_coherence:
                 resident = self.l2s[pid].peek(addr)
                 assert resident is not None, "L1/L2 inclusion violated"
                 self._check_load(addr, resident.value)
-            return self.config.l1.hit_cycles
-        self.energy["l2"] += 1
+            return config.l1.hit_cycles
+        self.energy_l2 += 1
         line = self.l2s[pid].lookup(addr)
         if line is not None:
+            # Fast-path-eligible too (any resident line): counted here
+            # so the total is invariant under REPRO_FASTPATH.
+            self.fast_loads += 1
             self.l1s[pid].fill(addr)
             self._check_load(addr, line.value)
-            return self.config.l2.hit_cycles
+            return config.l2.hit_cycles
         # L2 miss -> home directory.
         entry = self.directory.entry(addr)
-        self.energy["dir"] += 1
+        self.energy_dir += 1
         self.network.send(MessageClass.BASE, 2)  # request + response
-        latency = float(self.config.l2.hit_cycles)
+        latency = float(config.l2.hit_cycles)
         if entry.mode == EXCL and entry.owner != pid:
             self._handle_dependence(entry, pid, now, piggybacked=True)
             value = self._fetch_from_owner(entry, pid, now,
                                            downgrade_to_shared=True)
-            latency += self.config.remote_l2_cycles
+            latency += config.remote_l2_cycles
             self._install(pid, addr, L_SHARED, value, now)
         elif entry.mode == SHARED:
             self._handle_dependence(entry, pid, now, piggybacked=False)
             extra, ckpt_wait = self.channels.demand_access(now, addr)
             self.ckpt_wait[pid] += ckpt_wait
-            latency += self.config.memory_cycles + extra
+            latency += config.memory_cycles + extra
             value = self.memory.read_line(addr)
-            self.energy["dram"] += 1
+            self.energy_dram += 1
             entry.sharers |= 1 << pid
             self._install(pid, addr, L_SHARED, value, now)
         else:  # UNCACHED -> RDX: grant Exclusive, stamp LW-ID (Fig 3.2a)
             self._handle_dependence(entry, pid, now, piggybacked=False)
             extra, ckpt_wait = self.channels.demand_access(now, addr)
             self.ckpt_wait[pid] += ckpt_wait
-            latency += self.config.memory_cycles + extra
+            latency += config.memory_cycles + extra
             value = self.memory.read_line(addr)
-            self.energy["dram"] += 1
+            self.energy_dram += 1
             entry.mode = EXCL
             entry.owner = pid
             entry.sharers = 0
@@ -303,15 +428,21 @@ class CoherenceEngine:
 
     def store(self, pid: int, addr: int, value: int, now: float) -> float:
         """Execute a store (write-through L1, write-back L2); returns latency."""
-        if self.config.check_coherence:
+        config = self.config
+        if config.check_coherence:
             self.golden[addr] = value
-        self.energy["l1"] += 1
-        self.energy["l2"] += 1
+        self.energy_l1 += 1
+        self.energy_l2 += 1
         line = self.l2s[pid].lookup(addr)
-        latency = float(self.config.l2.hit_cycles)
+        latency = float(config.l2.hit_cycles)
         if line is not None and line.state == MODIFIED:
             if line.delayed:
                 latency += self._force_delayed_writeback(pid, line, now)
+                line.value = value
+                return latency
+            # Fast-path-eligible (MODIFIED, not Delayed): counted here so
+            # the total is invariant under REPRO_FASTPATH.
+            self.fast_stores += 1
             line.value = value
             return latency
         if line is not None and line.state == EXCLUSIVE:
@@ -324,10 +455,10 @@ class CoherenceEngine:
             line.value = value
             if self.tracker.enabled:
                 self.tracker.on_write(pid, addr)
-                self.energy["wsig"] += 1
+                self.energy_wsig += 1
             return latency
         entry = self.directory.entry(addr)
-        self.energy["dir"] += 1
+        self.energy_dir += 1
         self.network.send(MessageClass.BASE, 2)
         if line is not None and line.state == L_SHARED:
             # Upgrade: invalidate the other sharers.
@@ -335,7 +466,7 @@ class CoherenceEngine:
             self._invalidate_sharers(entry, keep=pid, now=now)
             entry.mode = EXCL
             entry.owner = pid
-            latency += self.config.remote_l2_cycles
+            latency += config.remote_l2_cycles
             line.state = MODIFIED
             line.dirty = True
             line.value = value
@@ -345,20 +476,20 @@ class CoherenceEngine:
         if entry.mode == EXCL and entry.owner != pid:
             self._handle_dependence(entry, pid, now, piggybacked=True)
             self._fetch_from_owner(entry, pid, now, downgrade_to_shared=False)
-            latency += self.config.remote_l2_cycles
+            latency += config.remote_l2_cycles
         elif entry.mode == SHARED:
             self._handle_dependence(entry, pid, now, piggybacked=False)
             self._invalidate_sharers(entry, keep=pid, now=now)
             extra, ckpt_wait = self.channels.demand_access(now, addr)
             self.ckpt_wait[pid] += ckpt_wait
-            latency += self.config.memory_cycles + extra
-            self.energy["dram"] += 1
+            latency += config.memory_cycles + extra
+            self.energy_dram += 1
         else:
             self._handle_dependence(entry, pid, now, piggybacked=False)
             extra, ckpt_wait = self.channels.demand_access(now, addr)
             self.ckpt_wait[pid] += ckpt_wait
-            latency += self.config.memory_cycles + extra
-            self.energy["dram"] += 1
+            latency += config.memory_cycles + extra
+            self.energy_dram += 1
         entry.mode = EXCL
         entry.owner = pid
         entry.sharers = 0
@@ -372,11 +503,12 @@ class CoherenceEngine:
         The flush takes the priority path (the store is on the critical
         path); the stall is checkpoint-induced, so it feeds IPCDelay.
         """
+        self.fastpath_epoch(pid)
         done = self.channels.priority_writeback(now, line.addr)
         self.memory.writeback(now, pid, line.addr, line.value,
                               self.tracker.delayed_interval_of(pid))
-        self.energy["dram"] += 2
-        self.energy["log"] += 1
+        self.energy_dram += 2
+        self.energy_log += 1
         line.delayed = False
         self.tracker.on_line_left_cache(pid, line.addr, now)
         self.forced_delayed_writebacks += 1
@@ -396,6 +528,7 @@ class CoherenceEngine:
         Lines stay cached clean (state M -> E); returns ``(completion
         time, n_lines)``.
         """
+        self.fastpath_epoch(pid)
         dirty = self.l2s[pid].dirty_lines()
         interval = self.tracker.interval_of(pid)
         done = now
@@ -404,8 +537,8 @@ class CoherenceEngine:
                                                      logged=True,
                                                      checkpoint=True))
             self.memory.writeback(now, pid, line.addr, line.value, interval)
-            self.energy["dram"] += 2
-            self.energy["log"] += 1
+            self.energy_dram += 2
+            self.energy_log += 1
             line.dirty = False
             line.delayed = False
             if line.state == MODIFIED:
@@ -414,6 +547,7 @@ class CoherenceEngine:
 
     def mark_delayed(self, pid: int) -> int:
         """Set the Delayed bit on all dirty lines (Section 4.1 start)."""
+        self.fastpath_epoch(pid)
         count = 0
         for line in self.l2s[pid].dirty_lines():
             line.delayed = True
@@ -427,13 +561,14 @@ class CoherenceEngine:
         the scheme (background traffic); here we move the data and log it
         tagged with the checkpointed ``interval`` that produced it.
         """
+        self.fastpath_epoch(pid)
         count = 0
         for line in list(self.l2s[pid].lines()):
             if not line.delayed:
                 continue
             self.memory.writeback(now, pid, line.addr, line.value, interval)
-            self.energy["dram"] += 2
-            self.energy["log"] += 1
+            self.energy_dram += 2
+            self.energy_log += 1
             line.delayed = False
             line.dirty = False
             if line.state == MODIFIED:
@@ -443,6 +578,7 @@ class CoherenceEngine:
 
     def invalidate_core(self, pid: int) -> int:
         """Flash-invalidate both cache levels of ``pid`` (rollback)."""
+        self.fastpath_epoch(pid)
         if self.config.check_coherence:
             # Dirty data discarded by the invalidation reverts the golden
             # image to whatever memory holds (the log undo that follows
@@ -452,5 +588,5 @@ class CoherenceEngine:
         self.directory.purge_core(pid, clear_lw=True)
         n = self.l2s[pid].invalidate_all()
         self.l1s[pid].invalidate_all()
-        self.energy["l2"] += n
+        self.energy_l2 += n
         return n

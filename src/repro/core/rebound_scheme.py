@@ -105,6 +105,7 @@ class ReboundScheme(BaseScheme):
     # interval bookkeeping hooks for the shared executor
     # ------------------------------------------------------------------
     def _rotate(self, pid: int, now: float) -> None:
+        super()._rotate(pid, now)
         self.files[pid].open_interval(now)
 
     def _mark_interval_complete(self, pid: int, interval: int,

@@ -424,6 +424,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[workload store] "
               + ", ".join(f"{name}={count}"
                           for name, count in counters.items()))
+        mem = engine.memsys_counters()
+        accesses = mem["mem_accesses"]
+        l1_total = mem["l1_hits"] + mem["l1_misses"]
+        l2_total = mem["l2_hits"] + mem["l2_misses"]
+        fast = mem["fastpath_loads"] + mem["fastpath_stores"]
+        print(f"[memsys] "
+              f"fastpath_hit_rate={fast / accesses:.3f}, "
+              f"l1_hit_rate={mem['l1_hits'] / max(1, l1_total):.3f}, "
+              f"l2_hit_rate={mem['l2_hits'] / max(1, l2_total):.3f}, "
+              f"invalidations={mem['invalidations']}, "
+              f"epoch_bumps={mem['fastpath_epoch_bumps']}, "
+              f"accesses={accesses}"
+              if accesses else "[memsys] no completed runs in-process")
     return 0
 
 

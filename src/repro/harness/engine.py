@@ -99,7 +99,10 @@ from repro.workloads.registry import is_builtin_workload
 #:    counters (ckpt_backoff, stall_overhang, rollback_waste), so
 #:    entries pickled before them would deserialize without the fields
 #:    the campaign tables now read.
-CACHE_FORMAT = 2
+#: 3: memory-system fast path — SimStats grew the memsys counters
+#:    (l1/l2 hits+misses, fastpath loads/stores/epochs, invalidations,
+#:    mem_accesses) that ``--profile`` and the bench memsys section read.
+CACHE_FORMAT = 3
 
 _PACKAGE_DIR = Path(__file__).resolve().parents[1]
 _REPO_ROOT = Path(__file__).resolve().parents[3]
@@ -760,6 +763,20 @@ class ExperimentEngine:
         if self.workload_store is not None:
             for name, count in self.workload_store.counters().items():
                 totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def memsys_counters(self) -> dict[str, int]:
+        """Memory-system counters summed over this engine's completed
+        runs (the in-process memo: every run executed or loaded this
+        session).  Mode-invariant under ``REPRO_FASTPATH``; feeds the
+        ``--profile`` memsys row and the bench memsys section."""
+        totals = {name: 0 for name in (
+            "l1_hits", "l1_misses", "l2_hits", "l2_misses",
+            "fastpath_loads", "fastpath_stores", "fastpath_epoch_bumps",
+            "invalidations", "mem_accesses")}
+        for stats in self.memo.values():
+            for name in totals:
+                totals[name] += getattr(stats, name, 0)
         return totals
 
     def _run_parallel(self, tasks: list, n_runs: int) -> None:

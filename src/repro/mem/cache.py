@@ -57,6 +57,13 @@ class Cache:
         self._sets: list[OrderedDict[int, CacheLine]] = [
             OrderedDict() for _ in range(self.n_sets)
         ]
+        # Address -> line direct map over all sets: lookup/peek are one
+        # dict probe; the per-set OrderedDicts keep carrying the LRU
+        # recency order (and are the eviction authority).  The map is
+        # mutated strictly in place (never rebound) so long-lived views
+        # of it — the machine's inline fast path binds it once per
+        # advance — stay valid across insertions and invalidations.
+        self._map: dict[int, CacheLine] = {}
         self.n_hits = 0
         self.n_misses = 0
         self.n_evictions = 0
@@ -68,26 +75,25 @@ class Cache:
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the resident line or None; updates LRU order on hit."""
-        cset = self._set_for(addr)
-        line = cset.get(addr)
+        line = self._map.get(addr)
         if line is None:
             self.n_misses += 1
             return None
         if touch:
-            cset.move_to_end(addr)
+            self._sets[addr % self.n_sets].move_to_end(addr)
         self.n_hits += 1
         return line
 
     def peek(self, addr: int) -> Optional[CacheLine]:
         """Return the resident line without perturbing LRU or counters."""
-        return self._set_for(addr).get(addr)
+        return self._map.get(addr)
 
     def insert(self, addr: int, state: int, value: int
                ) -> tuple[CacheLine, Optional[CacheLine]]:
         """Install ``addr``; returns ``(new_line, evicted_line_or_None)``."""
         cset = self._set_for(addr)
-        if addr in cset:  # refill over an existing line: update in place
-            line = cset[addr]
+        line = self._map.get(addr)
+        if line is not None:  # refill over an existing line: update in place
             line.state = state
             line.value = value
             cset.move_to_end(addr)
@@ -95,17 +101,20 @@ class Cache:
         victim = None
         if len(cset) >= self.assoc:
             _, victim = cset.popitem(last=False)
+            del self._map[victim.addr]
             self.n_evictions += 1
             self._n_resident -= 1
         line = CacheLine(addr, state, value)
         cset[addr] = line
+        self._map[addr] = line
         self._n_resident += 1
         return line, victim
 
     def invalidate(self, addr: int) -> Optional[CacheLine]:
         """Remove ``addr`` if present and return the removed line."""
-        line = self._set_for(addr).pop(addr, None)
+        line = self._map.pop(addr, None)
         if line is not None:
+            del self._set_for(addr)[addr]
             self._n_resident -= 1
         return line
 
@@ -114,6 +123,7 @@ class Cache:
         count = self._n_resident
         for cset in self._sets:
             cset.clear()
+        self._map.clear()
         self._n_resident = 0
         return count
 
@@ -131,7 +141,7 @@ class Cache:
         return [ln for ln in self.lines() if ln.delayed]
 
     def resident(self, addr: int) -> bool:
-        return addr in self._set_for(addr)
+        return addr in self._map
 
     def __len__(self) -> int:
         return self._n_resident
@@ -153,6 +163,13 @@ class L1Cache:
         self._sets: list[OrderedDict[int, bool]] = [
             OrderedDict() for _ in range(self.n_sets)
         ]
+        # Address -> owning set direct map: the residency filter the
+        # machine's inline load fast path probes.  Membership here is
+        # *exactly* ``contains`` membership (maintained on every fill and
+        # invalidation), so a map hit is a provable L1 hit.  Mutated in
+        # place only — never rebound — because the fast path binds it
+        # once per advance.
+        self._map: dict[int, OrderedDict] = {}
         self.n_hits = 0
         self.n_misses = 0
         self._n_resident = 0          # O(1) len() (kept by fill/remove)
@@ -161,8 +178,8 @@ class L1Cache:
         return self._sets[addr % self.n_sets]
 
     def contains(self, addr: int) -> bool:
-        cset = self._set_for(addr)
-        if addr in cset:
+        cset = self._map.get(addr)
+        if cset is not None:
             cset.move_to_end(addr)
             self.n_hits += 1
             return True
@@ -175,19 +192,24 @@ class L1Cache:
             cset.move_to_end(addr)
             return
         if len(cset) >= self.assoc:
-            cset.popitem(last=False)
+            victim_addr, _ = cset.popitem(last=False)
+            del self._map[victim_addr]
             self._n_resident -= 1
         cset[addr] = True
+        self._map[addr] = cset
         self._n_resident += 1
 
     def invalidate(self, addr: int) -> None:
-        if self._set_for(addr).pop(addr, None) is not None:
+        cset = self._map.pop(addr, None)
+        if cset is not None:
+            del cset[addr]
             self._n_resident -= 1
 
     def invalidate_all(self) -> int:
         count = self._n_resident
         for cset in self._sets:
             cset.clear()
+        self._map.clear()
         self._n_resident = 0
         return count
 

@@ -43,7 +43,8 @@ class Core:
         "instr_since_ckpt",
         "done", "blocked", "block_site", "block_start", "epoch",
         "not_before", "held_locks", "barrier_crossings", "stats",
-        "store_seq", "ckpt_busy_until", "snapshots", "next_ckpt_id",
+        "store_seq", "store_tag", "ckpt_busy_until", "snapshots",
+        "next_ckpt_id",
         "pending_delayed", "delayed_ckpt_id", "waste_charged_until",
         "recovery_until", "overhead_reclaim_mark", "stall_segments",
     )
@@ -77,6 +78,7 @@ class Core:
         self.barrier_crossings: dict[int, int] = {}
         self.stats = CoreStats()
         self.store_seq = 0
+        self.store_tag = pid << 40      # high bits of every store value
         # While a checkpoint (or its delayed drain) is in flight the core
         # Nacks/Busies external checkpoint requests (Sections 3.3.4, 4.1).
         self.ckpt_busy_until = 0.0
@@ -148,7 +150,7 @@ class Core:
     def next_store_value(self) -> int:
         """Unique architectural value for the next store (pid, seq)."""
         self.store_seq += 1
-        return (self.pid << 40) | self.store_seq
+        return self.store_tag | self.store_seq
 
     # -- snapshots ------------------------------------------------------------
     def take_snapshot(self, now: float,

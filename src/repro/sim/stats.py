@@ -138,11 +138,30 @@ class SimStats:
     energy_events: dict[str, int] = field(default_factory=dict)
     energy_joules: float = 0.0
     baseline_energy_joules: float = 0.0
+    # Memory-system counters (all invariant under REPRO_FASTPATH: the
+    # fast path batches the same bumps the slow path makes inline, and
+    # eligibility is counted identically in both modes).
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    fastpath_loads: int = 0
+    fastpath_stores: int = 0
+    fastpath_epoch_bumps: int = 0
+    invalidations: int = 0
+    mem_accesses: int = 0
 
     # -- derived quantities --------------------------------------------------
     @property
     def n_cores(self) -> int:
         return len(self.cores)
+
+    @property
+    def fastpath_hit_rate(self) -> float:
+        """Fraction of memory accesses serviceable on the fast path."""
+        if self.mem_accesses == 0:
+            return 0.0
+        return (self.fastpath_loads + self.fastpath_stores) / self.mem_accesses
 
     def overhead_vs(self, baseline: "SimStats") -> float:
         """Checkpointing overhead as a fraction of error-free runtime."""

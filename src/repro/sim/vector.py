@@ -34,6 +34,13 @@ Soundness rests on three properties of the scalar kernel:
   record; ``Machine.install_faults`` injects the fork's fault events
   with seqs below every live entry, preserving that order.
 
+The leader runs the same memory-system fast path as every scalar
+machine (``Machine.fastpath`` / ``REPRO_FASTPATH``): its batched
+per-core hit counters are flushed into the engine aggregates on every
+exit from the advance loop — in particular before each pause — so a
+fork's deep copy always clones a fully-folded engine and replica stats
+stay bit-identical in all four on/off x scalar/vector combinations.
+
 The speedup is the shared prefix: for first-detections at
 ``t_1 <= ... <= t_N`` over a run of length ``T``, the batch simulates
 ``T + sum(T - t_i)`` cycles instead of ``N * T``.  Dense fault
