@@ -37,6 +37,15 @@ the wall clock is almost pure engine overhead; per-run overhead is
 in-process.  The section also records the worker LRU hit rate and a
 ``-j`` scaling curve.
 
+The ``service`` section drives one plan of small-but-real runs (a few
+hundred microseconds each — a campaign of zero-cost runs is a landing
+rate no simulator reaches) through a direct engine batch and through
+the campaign service (spooled submission, streaming JSONL journal,
+per-landing state accounting) and asserts the service path costs at
+most 1.3x the batch — always-on serving must not tax the campaigns it
+exists to carry.  Per-run submission-to-landed latencies come from the
+journal's own timestamps.
+
 The other sections deliberately bypass the runner/engine caches: they
 measure the simulator kernel and the workload build path themselves,
 not the harness.
@@ -458,6 +467,126 @@ def _measure_engine() -> dict:
     }
 
 
+#: Service-overhead bench: a direct ``run_many`` batch against the full
+#: campaign-service path (spooled submission -> serve -> journaled
+#: landings) over the same plan.  The service may cost at most 30%
+#: over batch dispatch.  Unlike the engine section's near-free runs
+#: (which isolate pure dispatch overhead), the service runs carry a
+#: small-but-real simulation cost — the quantity under test is the
+#: end-to-end tax on a campaign, and a campaign of zero-cost runs is
+#: a landing-rate no simulator reaches.
+SERVICE_RUNS = 200
+SERVICE_OPS = 60          # trace ops per thread: ~0.5ms/run simulated
+SERVICE_MAX_OVERHEAD = 1.3
+
+
+def _service_workload(n_threads, config, intervals, seed):
+    """A short-but-real trace per thread (compare ``_tiny_workload``:
+    the service bench wants run costs in the hundreds of microseconds,
+    the dispatch bench wants them free)."""
+    traces = []
+    for tid in range(n_threads):
+        trace = TraceBuilder()
+        for op in range(SERVICE_OPS):
+            trace.compute(20 + (seed + op) % 7)
+            trace.store((tid * SERVICE_OPS + op) % 64)
+            trace.load((op * 3 + tid) % 64)
+        traces.append(trace.build())
+    return WorkloadSpec(name="bench_service", traces=traces)
+
+
+def _measure_service() -> dict:
+    """Submission-to-landed latency of the campaign service vs. a
+    direct engine batch of the same plan.
+
+    Both legs run the identical ``SERVICE_RUNS`` tiny store-cached
+    keys on fresh engines (no disk cache, scalar) — the delta is pure
+    service machinery: the spool round-trip, the journal writer, the
+    per-landing state accounting.  Per-run landing latency comes from
+    the journal's own timestamps against the job's submission time.
+    """
+    from repro.harness.service import CampaignService
+
+    if multiprocessing.get_start_method() != "fork":
+        return {"skipped": "requires the fork start method"}
+    tag = register_workload("bench_service", _service_workload,
+                            fingerprint="bench-service-v1")
+    jobs = max(1, os.cpu_count() or 1)
+    keys = [RunKey(tag, ENGINE_THREADS, Scheme.GLOBAL, 1.0, 1, SCALE,
+                   io_every=10 + i) for i in range(SERVICE_RUNS)]
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            store_root = Path(tmp) / "store"
+            WorkloadStore(store_root).get_or_build(
+                tag, ENGINE_THREADS, resolve_config(keys[0]), 1.0, 1)
+
+            def fresh_engine() -> ExperimentEngine:
+                eng = ExperimentEngine(jobs=jobs, use_disk_cache=False,
+                                       vector=False)
+                eng.workload_store = WorkloadStore(store_root)
+                return eng
+
+            # Interleaved A/B rounds; the asserted ratio is the
+            # *median of per-round paired ratios*, so a load spike
+            # charges both legs of its round and cancels out instead
+            # of skewing whichever leg it happened to hit.
+            batch_wall = float("inf")
+            service_wall = float("inf")
+            ratios: list[float] = []
+            latencies: list[float] = []
+            for round_no in range(REPEATS):
+                eng = fresh_engine()
+                start = time.perf_counter()
+                eng.run_many(keys)
+                batch = time.perf_counter() - start
+                batch_wall = min(batch_wall, batch)
+
+                spool = Path(tmp) / f"spool{round_no}"
+                service = CampaignService(spool_dir=spool,
+                                          engine=fresh_engine())
+                start = time.perf_counter()
+                job_id = service.submit(keys, label="bench")
+                service.serve(drain=True)
+                wall = time.perf_counter() - start
+                status = service.status(job_id)
+                assert status["state"] == "done", status
+                assert status["computed"] == SERVICE_RUNS, status
+                ratios.append(wall / batch)
+                if wall < service_wall:
+                    service_wall = wall
+                    submitted = status["submitted_at"]
+                    latencies = sorted(
+                        json.loads(line)["t"] - submitted
+                        for line in (spool / "journal.jsonl")
+                        .read_text().splitlines())
+    finally:
+        unregister_workload("bench_service")
+
+    ratio = sorted(ratios)[len(ratios) // 2]
+    # ISSUE 10 acceptance: the service path (spool + journal + state
+    # accounting) must stay within 30% of raw batch dispatch.
+    assert ratio <= SERVICE_MAX_OVERHEAD, (
+        f"service overhead {ratio:.2f}x > {SERVICE_MAX_OVERHEAD}x "
+        f"(batch {batch_wall:.3f}s, service {service_wall:.3f}s)")
+    return {
+        "runs": SERVICE_RUNS,
+        "jobs": jobs,
+        "batch_wall_s": round(batch_wall, 4),
+        "service_wall_s": round(service_wall, 4),
+        "overhead_ratio": round(ratio, 3),
+        "max_overhead_ratio": SERVICE_MAX_OVERHEAD,
+        "landing_latency_ms": {
+            "first": round(latencies[0] * 1e3, 2),
+            "median": round(latencies[len(latencies) // 2] * 1e3, 2),
+            "last": round(latencies[-1] * 1e3, 2),
+        },
+        "note": ("wall is submit->all-landed on a fresh spool; the "
+                 "ratio is the median of per-round paired ratios; "
+                 "landing latencies are journal timestamps minus the "
+                 "job's submission time"),
+    }
+
+
 def test_kernel_speed():
     results = []
     matrix_stats = []
@@ -492,8 +621,9 @@ def test_kernel_speed():
         "skipped": "numpy not installed"}
     lint = _measure_lint()
     engine = _measure_engine()
+    service = _measure_service()
     payload = {
-        "schema": 6,
+        "schema": 7,
         "scale": SCALE,
         "intervals": INTERVALS,
         "repeats": REPEATS,
@@ -507,6 +637,7 @@ def test_kernel_speed():
         "vector": vector,
         "lint": lint,
         "engine": engine,
+        "service": service,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print()
@@ -563,3 +694,15 @@ def test_kernel_speed():
         print("  -j curve: " + ", ".join(
             f"j={row['jobs']} {row['wall_s']:.3f}s"
             for row in engine["jobs_curve"]))
+    if "skipped" in service:
+        print(f"campaign service: {service['skipped']}")
+    else:
+        lat = service["landing_latency_ms"]
+        print(f"campaign service ({service['runs']} tiny runs, "
+              f"-j {service['jobs']}): batch "
+              f"{service['batch_wall_s']:.3f}s, service "
+              f"{service['service_wall_s']:.3f}s "
+              f"({service['overhead_ratio']:.2f}x, cap "
+              f"{service['max_overhead_ratio']}x); landing latency "
+              f"first {lat['first']:.0f}ms / median "
+              f"{lat['median']:.0f}ms / last {lat['last']:.0f}ms")

@@ -44,6 +44,23 @@ registry, so generators registered via
 ``repro.workloads.register_workload`` are addressable by name alongside
 the 18 built-in application profiles.
 
+The ``serve`` subcommand runs the persistent campaign service
+(:mod:`repro.harness.service`): a file-spool job queue, a streaming
+JSONL result journal, and kill-resilient restart replay.  Clients
+submit priority-ordered jobs and watch them from any process; the
+server shards them across the engine's worker pool::
+
+    python -m repro.harness serve start --drain            # the server
+    python -m repro.harness serve submit --quick           # a client
+    python -m repro.harness serve status [JOB]
+    python -m repro.harness serve cancel JOB
+    python -m repro.harness serve drain --timeout 600
+    python -m repro.harness serve summary JOB
+    python -m repro.harness serve stop
+
+``campaign --serve`` and ``sweep --serve`` route their plans through
+the same spool/journal path, so every figure can exercise the service.
+
 The ``lint`` subcommand runs ``reprolint``, the contract-enforcing
 static analysis pass (determinism / fork-safety / fingerprint coverage
 / cache-identity hygiene — see :mod:`repro.analysis`) over the shipped
@@ -65,6 +82,7 @@ from repro.harness.experiments import (
     fig6_9_campaign,
     parse_variant,
     plan_experiment,
+    plan_fig6_9,
     run_experiment,
 )
 from repro.harness.report import format_table
@@ -100,6 +118,40 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chunk-size", type=int, default=None,
                         help="tasks packed per parallel dispatch chunk "
                              "(default: REPRO_CHUNK or adaptive)")
+
+
+def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--serve", action="store_true",
+                        help="route the planned runs through the "
+                             "campaign service (spooled job + JSONL "
+                             "result journal) instead of a direct "
+                             "engine batch")
+    parser.add_argument("--spool", default=None,
+                        help="service spool directory (default: "
+                             "REPRO_SERVE_SPOOL or <cache-dir>/service)")
+
+
+def _service_prefetch(engine: ExperimentEngine, keys, spool,
+                      label: str) -> str:
+    """Run ``keys`` as one spooled service job, draining in-process.
+
+    Lands every result in the engine memo (so the caller's driver
+    renders from cache hits) *and* in the spool's journal — a later
+    ``serve summary JOB`` reproduces the table without re-running.
+    """
+    from repro.harness.service import CampaignService
+
+    keys = list(dict.fromkeys(keys))
+    service = CampaignService(spool_dir=spool, engine=engine)
+    job_id = service.submit(keys, label=label)
+    print(f"[serve] spool {service.spool}: job {job_id} "
+          f"({len(keys)} runs)")
+    service.serve(drain=True)
+    status = service.status(job_id) or {}
+    print(f"[serve] job {job_id}: {status.get('state')} "
+          f"({status.get('computed', 0)} computed, "
+          f"{status.get('replayed', 0)} replayed)")
+    return job_id
 
 
 def _build_engine_and_runner(args) -> tuple[ExperimentEngine, Runner]:
@@ -138,12 +190,21 @@ def campaign_main(argv: list[str]) -> int:
     parser.add_argument("--scale", type=int, default=40)
     parser.add_argument("--intervals", type=float, default=3.0)
     _add_engine_flags(parser)
+    _add_serve_flags(parser)
     args = parser.parse_args(argv)
     variants = tuple(parse_variant(token) for token in args.schemes)
     apps = ([resolve_workload(token) for token in args.apps]
             if args.apps is not None else None)
     engine, runner = _build_engine_and_runner(args)
     start = time.time()
+    if args.serve:
+        # Land the whole plan through the service (spool + journal);
+        # the driver below then renders purely from memo hits.
+        _service_prefetch(
+            engine, plan_fig6_9(runner, apps, tuple(args.cores),
+                                variants, args.seeds, args.seed,
+                                args.mttf),
+            args.spool, label="campaign")
     result = fig6_9_campaign(
         runner, apps=apps, sizes=tuple(args.cores),
         variants=variants, n_seeds=args.seeds, base_seed=args.seed,
@@ -196,6 +257,7 @@ def sweep_main(argv: list[str]) -> int:
                         help="tiny smoke-test runs (4 cores, scale 300, "
                              "1.5 intervals)")
     _add_engine_flags(parser)
+    _add_serve_flags(parser)
     args = parser.parse_args(argv)
     if not args.axis:
         parser.error("at least one --axis NAME=V1,V2,... is required")
@@ -242,7 +304,11 @@ def sweep_main(argv: list[str]) -> int:
           f"{len(points)} runs, jobs={engine.jobs}, cache="
           f"{'off' if not engine.use_disk_cache else engine.cache_dir}")
     start = time.time()
-    runner.prefetch(key for key, _ in points)
+    if args.serve:
+        _service_prefetch(engine, [key for key, _ in points],
+                          args.spool, label="sweep")
+    else:
+        runner.prefetch(key for key, _ in points)
     axis_names = [name for name in spec.axis_names() if name in axes]
     rows = []
     for key, point in points:
@@ -269,6 +335,152 @@ def sweep_main(argv: list[str]) -> int:
     print(f"[sweep took {time.time() - start:.1f}s: "
           f"{len(engine.profile)} computed, {engine.disk_hits} from "
           f"disk cache]")
+    return 0
+
+
+def serve_main(argv: list[str]) -> int:
+    """``python -m repro.harness serve``: the persistent campaign
+    service over a file-based job spool (see
+    :mod:`repro.harness.service`)."""
+    from repro.harness.service import CampaignService, default_spool_dir
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness serve",
+        description="Persistent campaign service: spool jobs, stream "
+                    "results to a JSONL journal, survive restarts with "
+                    "zero recomputation of landed runs.")
+    parser.add_argument("action",
+                        choices=["start", "submit", "status", "cancel",
+                                 "drain", "summary", "stop"],
+                        help="start: run the server loop; submit: spool "
+                             "a fig6_9 campaign job; status/cancel/"
+                             "drain/summary/stop: client operations")
+    parser.add_argument("job", nargs="?", default=None,
+                        help="job id (cancel/summary; optional for "
+                             "status)")
+    parser.add_argument("--spool", default=None,
+                        help="spool directory (default: "
+                             "REPRO_SERVE_SPOOL or <cache-dir>/service)")
+    # server flags
+    parser.add_argument("--drain", action="store_true",
+                        help="start: exit once the queue is empty "
+                             "instead of idling for more submissions")
+    parser.add_argument("--poll", type=float, default=0.5,
+                        help="start: idle poll interval in seconds")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="start: give up idling after this long")
+    # submit flags (a fig6_9 campaign plan, like the campaign driver)
+    parser.add_argument("--seed", type=int, default=100)
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument("--mttf", type=float, default=1.0)
+    parser.add_argument("--apps", "--workloads", dest="apps", nargs="+",
+                        default=None)
+    parser.add_argument("--cores", type=int, nargs="+", default=[8, 16])
+    parser.add_argument("--schemes", nargs="+",
+                        default=["global", "rebound", "rebound@4"])
+    parser.add_argument("--scale", type=int, default=40)
+    parser.add_argument("--intervals", type=float, default=3.0)
+    parser.add_argument("--quick", action="store_true",
+                        help="submit: tiny smoke-test campaign "
+                             "(4 cores, scale 300, 1.5 intervals)")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="submit: higher runs first")
+    parser.add_argument("--label", default="",
+                        help="submit: free-form job label")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="drain: give up after this many seconds")
+    _add_engine_flags(parser)
+    args = parser.parse_args(argv)
+    spool = args.spool if args.spool is not None else default_spool_dir()
+
+    if args.action == "start":
+        engine, _ = _build_engine_and_runner(args)
+        service = CampaignService(spool_dir=spool, engine=engine)
+        replayed = service.replay()
+        print(f"[serve] spool {service.spool}: serving "
+              f"(jobs={engine.jobs}, {replayed} journaled result(s) "
+              f"replayed)", flush=True)
+        processed = service.serve(poll=args.poll, drain=args.drain,
+                                  max_seconds=args.max_seconds)
+        print(f"[serve] exiting: {processed} job(s) executed")
+        return 0
+
+    service = CampaignService(spool_dir=spool)  # client-only: no engine
+    if args.action == "submit":
+        if args.quick:
+            args.cores = [4]
+            args.scale = 300
+            args.intervals = 1.5
+        variants = tuple(parse_variant(token)
+                         for token in args.schemes)
+        apps = ([resolve_workload(token) for token in args.apps]
+                if args.apps is not None else None)
+        runner = Runner(scale=args.scale, intervals=args.intervals)
+        keys = plan_fig6_9(runner, apps, tuple(args.cores), variants,
+                           args.seeds, args.seed, args.mttf)
+        job_id = service.submit(keys, priority=args.priority,
+                                label=args.label or "campaign")
+        print(f"[serve] spool {service.spool}: job {job_id} "
+              f"({len(set(keys))} runs, priority {args.priority})")
+        print(job_id)
+        return 0
+    if args.action == "status":
+        statuses = ([service.status(args.job)]
+                    if args.job else service.statuses())
+        if not statuses or statuses[0] is None:
+            print(f"[serve] unknown job {args.job}", file=sys.stderr)
+            return 1
+        rows = [[s["job"], s.get("label", ""), s.get("state", "?"),
+                 s.get("total", 0), s.get("landed", 0),
+                 s.get("computed", 0), s.get("replayed", 0),
+                 s.get("failed", 0), s.get("pending", 0)]
+                for s in statuses]
+        print(format_table(
+            ["job", "label", "state", "total", "landed", "computed",
+             "replayed", "failed", "pending"],
+            rows, title=f"Spool {service.spool}"))
+        return 0
+    if args.action == "cancel":
+        if not args.job:
+            parser.error("cancel needs a job id")
+        if not service.cancel(args.job):
+            print(f"[serve] unknown job {args.job}", file=sys.stderr)
+            return 1
+        print(f"[serve] cancel requested for {args.job}")
+        return 0
+    if args.action == "drain":
+        jobs = [args.job] if args.job else None
+        if service.wait(jobs, timeout=args.timeout):
+            print("[serve] drained: all jobs terminal")
+            return 0
+        print("[serve] drain timed out", file=sys.stderr)
+        return 1
+    if args.action == "summary":
+        if not args.job:
+            parser.error("summary needs a job id")
+        summary = service.summarize(args.job)
+        if summary.n_runs == 0:
+            print(f"[serve] no landed results for {args.job}",
+                  file=sys.stderr)
+            return 1
+        p95 = summary.recovery_latency_percentile(95)
+        print(format_table(
+            ["runs", "faults inj", "delivered", "rollbacks/run",
+             "IREC (lines)", "recovery (cyc)", "p95 recovery",
+             "availability", "eff avail"],
+            [[summary.n_runs, summary.injected_faults,
+              summary.delivered_faults,
+              f"{summary.mean_rollbacks_per_run:.2f}",
+              f"{summary.mean_irec_size:.1f}",
+              f"{summary.mean_recovery_latency:,.0f}",
+              "-" if p95 != p95 else f"{p95:,.0f}",
+              f"{100 * summary.mean_availability:.2f}%",
+              f"{100 * summary.mean_effective_availability:.2f}%"]],
+            title=f"Journal summary for {args.job}"))
+        return 0
+    # stop
+    service.request_stop()
+    print("[serve] stop requested")
     return 0
 
 
@@ -333,6 +545,8 @@ def main(argv: list[str] | None = None) -> int:
         return campaign_main(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro.harness")

@@ -74,9 +74,9 @@ import pickle
 import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.core.factory import fault_free_invariant_overrides
 from repro.harness.scenario import EMPTY_OVERRIDES, Overrides
@@ -451,6 +451,46 @@ def default_cache_dir() -> Path:
     return Path.cwd() / ".repro-cache"
 
 
+@dataclass
+class DispatchReport:
+    """What one chunked-dispatch pass did (internal to the engine).
+
+    ``failures`` holds one ``(key, exc)`` entry per *run* — a failed
+    replica batch of N keys contributes N entries, so failure counts
+    always match run counts.  ``pending`` are keys whose chunks were
+    never submitted because ``should_cancel`` fired; they are not
+    failures — nothing about them is known.
+    """
+
+    failures: list = field(default_factory=list)
+    pending: list = field(default_factory=list)
+    cancelled: bool = False
+
+
+@dataclass
+class StreamReport:
+    """Result of :meth:`ExperimentEngine.run_stream`.
+
+    Unlike :meth:`~ExperimentEngine.run_many`, streaming execution
+    never raises on per-run failures — the campaign service must keep
+    serving its other jobs when one run's workload builder blows up —
+    so the caller reads the partition: ``results`` landed (streamed
+    through ``on_land`` as they completed), ``failures`` raised inside
+    their runs, ``pending`` were dropped by cancellation.
+    """
+
+    results: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+    pending: list = field(default_factory=list)
+    cancelled: bool = False
+    replayed: int = 0     # served from the memo or the disk cache
+    computed: int = 0     # executed this call
+
+    @property
+    def landed(self) -> int:
+        return len(self.results)
+
+
 class ExperimentEngine:
     """Plans, deduplicates, parallelizes and caches simulation runs.
 
@@ -508,6 +548,12 @@ class ExperimentEngine:
         self.batch_width: dict[RunKey, int] = {}
         self.disk_hits = 0
         self._store_warned = False
+        #: Outcome-landing callback (``hook(key, stats, seconds)``),
+        #: installed by :meth:`run_stream` for the duration of a call:
+        #: fires in the parent process the moment a computed result
+        #: lands in the memo, on the serial and pool paths alike — the
+        #: campaign service journals results through it incrementally.
+        self._land_hook: Optional[Callable] = None
         #: Workload-store counter deltas shipped back by pool workers
         #: (:meth:`store_counters` folds the parent store on top).
         self._worker_counters: dict[str, int] = {}
@@ -593,6 +639,100 @@ class ExperimentEngine:
                     self._finish(task, stats,
                                  time.perf_counter() - start)
         return {key: self.memo[key] for key in unique}
+
+    def run_stream(self, keys: Iterable[RunKey],
+                   on_land: Optional[Callable] = None,
+                   should_cancel: Optional[Callable[[], bool]] = None
+                   ) -> StreamReport:
+        """Streaming execution: results land incrementally, failures
+        are collected per key instead of raised, and cancellation is
+        cooperative — the campaign service's execution primitive.
+
+        ``on_land(key, stats, source, seconds)`` fires for *every* key
+        as it becomes available: ``source`` is ``"memo"`` / ``"disk"``
+        for replayed results (zero recomputation) and ``"run"`` for
+        ones computed this call.  ``should_cancel`` is polled between
+        landings; once it returns True no further work is submitted,
+        in-flight chunks drain (and land), and the keys never executed
+        come back in ``pending``.
+        """
+        report = StreamReport()
+        unique = list(dict.fromkeys(keys))
+        missing = []
+        for key in unique:
+            stats = self.memo.get(key)
+            source = "memo"
+            if stats is None:
+                stats = self._load_cached(key)
+                source = "disk"
+                if stats is not None:
+                    self.memo[key] = stats
+            if stats is None:
+                missing.append(key)
+                continue
+            report.results[key] = stats
+            report.replayed += 1
+            if on_land is not None:
+                on_land(key, stats, source, 0.0)
+        if should_cancel is not None and should_cancel():
+            report.pending.extend(missing)
+            report.cancelled = True
+            return report
+        if not missing:
+            return report
+
+        def hook(key: RunKey, stats: SimStats, seconds: float) -> None:
+            report.results[key] = stats
+            report.computed += 1
+            if on_land is not None:
+                on_land(key, stats, "run", seconds)
+
+        self._prepare_workloads(missing)
+        tasks = self._plan_tasks(missing)
+        self._land_hook = hook
+        try:
+            if len(missing) > 1 and self.jobs > 1:
+                sub = self._dispatch(tasks, should_cancel=should_cancel)
+                report.failures.extend(sub.failures)
+                report.pending.extend(sub.pending)
+                report.cancelled = sub.cancelled
+            else:
+                for index, task in enumerate(tasks):
+                    if should_cancel is not None and should_cancel():
+                        report.cancelled = True
+                        for rest in tasks[index:]:
+                            report.pending.extend(
+                                rest if isinstance(rest, list) else [rest])
+                        break
+                    start = time.perf_counter()
+                    try:
+                        if isinstance(task, list):
+                            self._announce_batch(task)
+                            stats_list, fell_back = execute_batch(
+                                task, self.workload_store)
+                            self._finish_batch(
+                                task, stats_list,
+                                time.perf_counter() - start, fell_back)
+                        else:
+                            self._announce(task)
+                            stats = execute_run(task, self.workload_store)
+                            self._finish(task, stats,
+                                         time.perf_counter() - start)
+                    except KeyboardInterrupt:
+                        raise
+                    except BaseException as exc:  # noqa: BLE001
+                        exc = _portable_exc(exc)
+                        for key in (task if isinstance(task, list)
+                                    else [task]):
+                            report.failures.append((key, exc))
+        finally:
+            self._land_hook = None
+        return report
+
+    def describe_failure(self, key: RunKey, exc: BaseException) -> str:
+        """One human line per failed run (the service's status files
+        and the batch engine's error report share the wording)."""
+        return f"{self._describe(key)}: {exc!r}"
 
     @staticmethod
     def _batch_key(key: RunKey) -> tuple:
@@ -780,6 +920,35 @@ class ExperimentEngine:
         return totals
 
     def _run_parallel(self, tasks: list, n_runs: int) -> None:
+        report = self._dispatch(tasks)
+        if report.failures:
+            lines = [f"  {self._describe(key)}: {exc!r}"
+                     for key, exc in report.failures]
+            raise RuntimeError(
+                f"simulation failed for {len(report.failures)} of "
+                f"{n_runs} run(s):\n" + "\n".join(lines)
+                ) from report.failures[0][1]
+
+    def _dispatch(self, tasks: list,
+                  should_cancel: Optional[Callable[[], bool]] = None
+                  ) -> DispatchReport:
+        """Chunked pool dispatch: the engine's one parallel data plane.
+
+        Collects per-*key* failures (a failed replica batch reports
+        every member, not just its first — each key must be
+        individually describable and the failure count must match the
+        run count), supports cooperative cancellation
+        (``should_cancel``: un-submitted chunks are dropped to
+        ``pending`` while in-flight chunks drain and land), and
+        survives ``KeyboardInterrupt`` in the wait loop by cancelling
+        the queued futures, landing every already-completed chunk in
+        the memo/cache, and re-raising with a one-line
+        partial-progress note — Ctrl-C on a campaign keeps what it
+        paid for, and the service's cancel path reuses the same
+        machinery.
+        """
+        n_runs = sum(len(task) if isinstance(task, list) else 1
+                     for task in tasks)
         n_batches = sum(1 for task in tasks if isinstance(task, list))
         workers = min(self.jobs, len(tasks))
         chunks = self._chunk_tasks(tasks, workers)
@@ -791,13 +960,31 @@ class ExperimentEngine:
         store_root = str(self.workload_store.root) \
             if self.workload_store is not None else None
         cache_root = str(self.cache_dir) if self.use_disk_cache else None
-        failures: list[tuple[RunKey, BaseException]] = []
+        report = DispatchReport()
+        landed = 0
 
         def fail_task(task, exc: BaseException) -> None:
             # Collect *every* failing key so one bad run doesn't mask
-            # its siblings (worker tracebacks don't carry arguments).
-            first = task[0] if isinstance(task, list) else task
-            failures.append((first, exc))
+            # its siblings (worker tracebacks don't carry arguments) —
+            # including every member of a failed replica batch.
+            for key in (task if isinstance(task, list) else [task]):
+                report.failures.append((key, exc))
+
+        def land_outcomes(chunk, outcomes, deltas) -> None:
+            nonlocal landed
+            self._merge_worker_counters(deltas)
+            for task, outcome in zip(chunk, outcomes):
+                if outcome[0] == "err":
+                    fail_task(task, outcome[1])
+                    continue
+                _tag, payload, seconds, fell_back, cached = outcome
+                if isinstance(task, list):
+                    self._finish_batch(task, payload, seconds,
+                                       fell_back, cached=cached)
+                    landed += len(task)
+                else:
+                    self._finish(task, payload, seconds, cached=cached)
+                    landed += 1
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # Bounded in-flight window: a thousand-run campaign must not
@@ -812,7 +999,7 @@ class ExperimentEngine:
             def submit_next() -> None:
                 nonlocal submit_error
                 for chunk in itertools.islice(chunk_iter, 1):
-                    if submit_error is not None:
+                    if submit_error is not None or report.cancelled:
                         leftovers.append(chunk)
                         return
                     try:
@@ -824,46 +1011,59 @@ class ExperimentEngine:
                         submit_error = exc
                         leftovers.append(chunk)
 
-            for _ in range(min(2 * workers, len(chunks))):
-                submit_next()
-            while futures:
-                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
-                for future in done:
-                    chunk = futures.pop(future)
-                    try:
-                        outcomes, deltas = future.result()
-                    except BaseException as exc:  # noqa: BLE001
-                        # The whole worker died (OOM kill, broken pool):
-                        # every task of the chunk is lost.
-                        for task in chunk:
-                            fail_task(task, exc)
-                        submit_next()
-                        continue
-                    self._merge_worker_counters(deltas)
-                    for task, outcome in zip(chunk, outcomes):
-                        if outcome[0] == "err":
-                            fail_task(task, outcome[1])
-                            continue
-                        _tag, payload, seconds, fell_back, cached = outcome
-                        if isinstance(task, list):
-                            self._finish_batch(task, payload, seconds,
-                                               fell_back, cached=cached)
-                        else:
-                            self._finish(task, payload, seconds,
-                                         cached=cached)
+            try:
+                for _ in range(min(2 * workers, len(chunks))):
                     submit_next()
-            leftovers.extend(chunk_iter)   # no-op unless the pool broke
+                while futures:
+                    if (not report.cancelled and should_cancel is not None
+                            and should_cancel()):
+                        report.cancelled = True
+                    done, _ = wait(set(futures),
+                                   timeout=(0.1 if should_cancel is not None
+                                            else None),
+                                   return_when=FIRST_COMPLETED)
+                    for future in done:
+                        chunk = futures.pop(future)
+                        try:
+                            outcomes, deltas = future.result()
+                        except BaseException as exc:  # noqa: BLE001
+                            # The whole worker died (OOM kill, broken
+                            # pool): every task of the chunk is lost.
+                            for task in chunk:
+                                fail_task(task, exc)
+                            submit_next()
+                            continue
+                        land_outcomes(chunk, outcomes, deltas)
+                        submit_next()
+            except KeyboardInterrupt:
+                # Drop the queued chunks, let in-flight ones finish
+                # (they are small), and keep every completed result:
+                # the workers already wrote their cache entries, and
+                # landing them in the memo makes the partial session
+                # consistent.  Then re-raise — the interrupt still
+                # means stop.
+                pool.shutdown(wait=True, cancel_futures=True)
+                for future, chunk in list(futures.items()):
+                    if future.done() and not future.cancelled():
+                        try:
+                            outcomes, deltas = future.result()
+                        except BaseException:  # noqa: BLE001
+                            continue
+                        land_outcomes(chunk, outcomes, deltas)
+                print(f"  [engine] interrupted: {landed} of {n_runs} "
+                      f"run(s) landed in the memo/cache; queued chunks "
+                      f"cancelled", flush=True)
+                raise
+            leftovers.extend(chunk_iter)
             for chunk in leftovers:
                 for task in chunk:
-                    fail_task(task, submit_error
-                              or RuntimeError("task was never submitted"))
-        if failures:
-            lines = [f"  {self._describe(key)}: {exc!r}"
-                     for key, exc in failures]
-            raise RuntimeError(
-                f"simulation failed for {len(failures)} of "
-                f"{n_runs} run(s):\n" + "\n".join(lines)
-                ) from failures[0][1]
+                    if report.cancelled and submit_error is None:
+                        report.pending.extend(
+                            task if isinstance(task, list) else [task])
+                    else:
+                        fail_task(task, submit_error or RuntimeError(
+                            "task was never submitted"))
+        return report
 
     @staticmethod
     def _describe(key: RunKey) -> str:
@@ -897,6 +1097,8 @@ class ExperimentEngine:
         self.profile[key] = seconds
         if not cached:
             self._store_cached(key, stats)
+        if self._land_hook is not None:
+            self._land_hook(key, stats, seconds)
         if self.verbose and self.jobs > 1:  # pragma: no cover
             scheme = getattr(key.scheme, "value", key.scheme)
             print(f"  [engine] done {workload_name(key.app)} "

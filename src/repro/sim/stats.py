@@ -432,6 +432,26 @@ class CampaignSummary:
     effective_availabilities: list[float] = field(default_factory=list)
     checkpoint_overheads: list[float] = field(default_factory=list)
 
+    def add(self, stats: "SimStats") -> None:
+        """Fold one run into the distributions (incremental form of
+        :func:`summarize_campaign` — the campaign service folds results
+        in as they stream off the engine, so a cancelled or still-
+        running job summarizes exactly the runs that have landed)."""
+        self.n_runs += 1
+        self.injected_faults += stats.injected_faults
+        self.undelivered_faults += stats.undelivered_faults
+        self.delivered_faults += (stats.injected_faults -
+                                  stats.undelivered_faults)
+        self.rollback_counts.append(len(stats.rollbacks))
+        self.irec_sizes.extend(r.size for r in stats.rollbacks)
+        self.recovery_latencies.extend(r.latency for r in stats.rollbacks)
+        self.work_lost.append(stats.work_lost_cycles())
+        self.availabilities.append(stats.availability())
+        self.effective_availabilities.append(
+            stats.effective_availability())
+        self.checkpoint_overheads.append(
+            stats.checkpoint_overhead_cycles())
+
     # -- derived -------------------------------------------------------------
     @property
     def n_rollbacks(self) -> int:
@@ -500,18 +520,5 @@ def summarize_campaign(runs: Iterable[SimStats]) -> CampaignSummary:
     """Fold per-seed :class:`SimStats` into campaign distributions."""
     summary = CampaignSummary()
     for stats in runs:
-        summary.n_runs += 1
-        summary.injected_faults += stats.injected_faults
-        summary.undelivered_faults += stats.undelivered_faults
-        summary.delivered_faults += (stats.injected_faults -
-                                     stats.undelivered_faults)
-        summary.rollback_counts.append(len(stats.rollbacks))
-        summary.irec_sizes.extend(r.size for r in stats.rollbacks)
-        summary.recovery_latencies.extend(r.latency for r in stats.rollbacks)
-        summary.work_lost.append(stats.work_lost_cycles())
-        summary.availabilities.append(stats.availability())
-        summary.effective_availabilities.append(
-            stats.effective_availability())
-        summary.checkpoint_overheads.append(
-            stats.checkpoint_overhead_cycles())
+        summary.add(stats)
     return summary

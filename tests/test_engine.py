@@ -120,6 +120,58 @@ class TestParallelFailures:
         assert "2 of 3 run(s)" in message
         assert good in eng.memo
 
+    def test_failed_batch_reports_every_replica_key(self):
+        # Regression: a failed replica *batch* used to surface only its
+        # first RunKey ("failed for 1 of N") — a dead chunk holding N
+        # replicas masked N-1 sibling keys.  Two keys that differ only
+        # in their fault plan batch together; both must be reported.
+        from repro.sim.faults import FaultPlan
+
+        good = MATRIX[0]
+        bad = [RunKey("no_such_app", 4, Scheme.REBOUND, 1.5, 1, 300,
+                      fault_plan=FaultPlan.single(5000.0)),
+               RunKey("no_such_app", 4, Scheme.REBOUND, 1.5, 1, 300,
+                      fault_plan=FaultPlan.single(9000.0))]
+        eng = ExperimentEngine(jobs=2, use_disk_cache=False)
+        with pytest.raises(RuntimeError) as excinfo:
+            eng.run_many([good] + bad)
+        message = str(excinfo.value)
+        assert "2 of 3 run(s)" in message
+        # Each replica is individually describable by its own plan.
+        assert "5000.0" in message
+        assert "9000.0" in message
+        assert good in eng.memo
+
+    def test_interrupt_lands_partial_results(self, tmp_path, capsys,
+                                             monkeypatch):
+        # Regression: Ctrl-C in the dispatch wait loop used to escape
+        # past the epilogue and block in ProcessPoolExecutor.__exit__.
+        # Now the engine cancels queued chunks, lands every completed
+        # result in the memo (workers already wrote the cache entries),
+        # prints a one-line partial-progress note, and re-raises.
+        real_wait = engine_mod.wait
+        calls = {"n": 0}
+
+        def interrupting_wait(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise KeyboardInterrupt
+            return real_wait(*args, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "wait", interrupting_wait)
+        eng = ExperimentEngine(jobs=2, cache_dir=tmp_path,
+                               use_disk_cache=True, chunk_size=1)
+        with pytest.raises(KeyboardInterrupt):
+            eng.run_many(MATRIX)
+        assert len(eng.memo) >= 1          # completed chunks landed
+        assert "interrupted:" in capsys.readouterr().out
+        # The landed results replay from disk: nothing was lost.
+        fresh = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                                 use_disk_cache=True)
+        fresh.run_many(list(eng.memo))
+        assert fresh.disk_hits == len(eng.memo)
+        assert not fresh.profile
+
 
 class TestProfileRows:
     def test_rows_carry_cluster_and_overrides(self):

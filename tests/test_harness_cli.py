@@ -128,6 +128,71 @@ class TestSweepCli:
         assert "L/interval" in out
 
 
+class TestServeCli:
+    def _submit(self, spool, capsys):
+        code = main(["serve", "submit", "--quick", "--seeds", "1",
+                     "--apps", "blackscholes", "--schemes", "rebound",
+                     "--label", "cli", "--spool", str(spool)])
+        assert code == 0
+        return capsys.readouterr().out.strip().splitlines()[-1]
+
+    def test_submit_serve_status_summary_lifecycle(self, capsys,
+                                                   tmp_path):
+        spool = tmp_path / "spool"
+        job = self._submit(spool, capsys)
+        code = main(["serve", "status", job, "--spool", str(spool)])
+        assert code == 0
+        assert "queued" in capsys.readouterr().out
+        code = main(["serve", "start", "--drain", "--spool", str(spool),
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        assert "1 job(s) executed" in capsys.readouterr().out
+        code = main(["serve", "drain", "--spool", str(spool),
+                     "--timeout", "5"])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["serve", "summary", job, "--spool", str(spool)])
+        assert code == 0
+        assert "Journal summary" in capsys.readouterr().out
+
+    def test_cancel_and_unknown_job(self, capsys, tmp_path):
+        spool = tmp_path / "spool"
+        job = self._submit(spool, capsys)
+        assert main(["serve", "cancel", job,
+                     "--spool", str(spool)]) == 0
+        capsys.readouterr()
+        assert main(["serve", "status", job, "--spool", str(spool)]) == 0
+        assert "cancelled" in capsys.readouterr().out
+        assert main(["serve", "status", "nope",
+                     "--spool", str(spool)]) == 1
+        assert main(["serve", "cancel", "nope",
+                     "--spool", str(spool)]) == 1
+        assert main(["serve", "summary", job,
+                     "--spool", str(spool)]) == 1  # nothing landed
+
+    def test_campaign_routes_through_service(self, capsys, tmp_path):
+        code = main(["campaign", "--serve", "--seeds", "1",
+                     "--apps", "blackscholes", "--cores", "4",
+                     "--schemes", "rebound", "--scale", "300",
+                     "--intervals", "1.5",
+                     "--spool", str(tmp_path / "spool"),
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[serve] job" in out
+        assert "Figure 6.9" in out
+
+    def test_sweep_routes_through_service(self, capsys, tmp_path):
+        code = main(["sweep", "--quick", "--serve",
+                     "--axis", "detection_latency=2000",
+                     "--spool", str(tmp_path / "spool"),
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[serve] job" in out
+        assert "Sweep over detection_latency" in out
+
+
 class TestPlanDedup:
     def test_cross_figure_dedup_in_plan(self, capsys, tmp_path):
         # fig6_3 and fig6_5 share every scheme run; the union must
